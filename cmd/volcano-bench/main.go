@@ -1,0 +1,94 @@
+// Command volcano-bench regenerates the paper's evaluation and the
+// repository's ablation experiments:
+//
+//	volcano-bench -experiment fig4      # Figure 4: Volcano vs EXODUS
+//	volcano-bench -experiment ablation  # pruning / failure memo / glue mode
+//	volcano-bench -experiment altprops  # alternative input property combinations
+//	volcano-bench -experiment memory    # < 1 MB work space claim
+//	volcano-bench -experiment all
+//
+// Flags tune the workload; defaults follow the paper (50 random
+// select-join queries per complexity level, 2-8 input relations, tables
+// of 1,200-7,200 records of 100 bytes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/fig4"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig4", "fig4 | ablation | altprops | leftdeep | heuristic | setops | memory | all")
+	queries := flag.Int("queries", 50, "queries per complexity level")
+	seed := flag.Int64("seed", 1993, "workload seed")
+	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
+	maxRels := flag.Int("max-rels", 8, "largest number of input relations")
+	shape := flag.String("shape", "random", "join graph shape: random | chain | star")
+	timeout := flag.Duration("exodus-timeout", 30*time.Second, "per-query EXODUS time budget")
+	maxNodes := flag.Int("exodus-max-nodes", 1<<20, "EXODUS MESH node budget")
+	flag.Parse()
+
+	var sh datagen.Shape
+	switch *shape {
+	case "random":
+		sh = datagen.ShapeRandom
+	case "chain":
+		sh = datagen.ShapeChain
+	case "star":
+		sh = datagen.ShapeStar
+	default:
+		fmt.Fprintf(os.Stderr, "volcano-bench: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+	cfg := fig4.Config{
+		Seed:            *seed,
+		QueriesPerLevel: *queries,
+		MinRelations:    *minRels,
+		MaxRelations:    *maxRels,
+		Shape:           sh,
+		ExodusMaxNodes:  *maxNodes,
+		ExodusTimeout:   *timeout,
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig4":
+			fmt.Print(fig4.Format(fig4.Run(cfg)))
+		case "ablation":
+			fmt.Print(fig4.FormatAblation(fig4.RunAblation(cfg)))
+		case "altprops":
+			fmt.Print(fig4.FormatAltProps(fig4.RunAltProps()))
+		case "leftdeep":
+			fmt.Print(fig4.FormatLeftDeep(fig4.RunLeftDeep(cfg)))
+		case "heuristic":
+			fmt.Print(fig4.FormatHeuristic(fig4.RunHeuristic(cfg)))
+		case "setops":
+			fmt.Print(fig4.FormatSetOps(fig4.RunSetOps()))
+		case "memory":
+			points := fig4.Run(cfg)
+			fmt.Println("Peak optimizer work space (mean per query)")
+			fmt.Printf("%-5s %12s %12s\n", "rels", "volcano", "exodus")
+			for _, p := range points {
+				fmt.Printf("%-5d %11dB %11dB\n", p.Relations, p.VolcanoMemBytes, p.ExodusMemBytes)
+			}
+			fmt.Println("(the paper reports Volcano within 1 MB for every test query)")
+		default:
+			fmt.Fprintf(os.Stderr, "volcano-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig4", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}

@@ -1,0 +1,57 @@
+// Command volcano-gen is the optimizer generator: it translates a data
+// model specification into Go source code for an optimizer package that
+// links against the search engine (internal/core), following the
+// paper's generator paradigm.
+//
+// Usage:
+//
+//	volcano-gen -spec model.model [-o optimizer.go]
+//
+// The generated package declares a Support interface for the
+// implementor-supplied functions the specification references; see
+// internal/gen/testdata/minirel.model for a worked specification and
+// internal/gen/minirel for its generated output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	spec := flag.String("spec", "", "model specification file")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *spec == "" {
+		fmt.Fprintln(os.Stderr, "volcano-gen: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	input, err := os.ReadFile(*spec)
+	if err != nil {
+		fatal(err)
+	}
+	parsed, err := gen.Parse(string(input))
+	if err != nil {
+		fatal(err)
+	}
+	src, err := gen.Generate(parsed)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(src)
+		return
+	}
+	if err := os.WriteFile(*out, src, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "volcano-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command volcano-repl is an interactive shell over the demo database:
+// type SQL, get optimized plans and rows. Meta commands:
+//
+//	\tables            list tables and statistics
+//	\explain SELECT …  show the plan without executing
+//	\memo SELECT …     show the memo after optimizing
+//	\seed N            regenerate the database with a new seed
+//	\quit
+//
+// The database is the Figure-4 workload schema (tables R1..Rn with
+// columns id, ja, jb, v), generated in memory — or, with -data DIR, a
+// directory of <table>.csv files (integer values, header line naming
+// the columns; statistics are gathered while loading).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+	"repro/internal/vdb"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "demo database seed")
+	tables := flag.Int("tables", 4, "number of demo tables")
+	limit := flag.Int("limit", 10, "rows displayed per query")
+	dataDir := flag.String("data", "", "directory of <table>.csv files to load instead of the demo database")
+	flag.Parse()
+
+	r := &repl{limit: *limit, tables: *tables}
+	if *dataDir != "" {
+		db, err := vdb.OpenDir(*dataDir, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
+			os.Exit(1)
+		}
+		r.db, r.cat = db, db.Catalog()
+	} else {
+		r.reset(*seed)
+	}
+
+	fmt.Println("volcano-repl — SQL over a Volcano-optimized demo database")
+	fmt.Println(`type \tables to inspect the schema, \quit to leave`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("volcano> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !r.dispatch(line) {
+			return
+		}
+		fmt.Print("volcano> ")
+	}
+}
+
+type repl struct {
+	db     *vdb.DB
+	cat    *rel.Catalog
+	seed   int64
+	tables int
+	limit  int
+}
+
+func (r *repl) reset(seed int64) {
+	src := datagen.New(seed)
+	r.cat = src.Catalog(r.tables)
+	r.db = vdb.Open(r.cat, src.Rows(r.cat), nil)
+	r.seed = seed
+}
+
+// dispatch handles one input line; it reports false to exit.
+func (r *repl) dispatch(line string) bool {
+	switch {
+	case line == `\quit` || line == `\q`:
+		return false
+
+	case line == `\tables`:
+		for _, name := range r.cat.Tables() {
+			t := r.cat.Table(name)
+			fmt.Printf("%-4s %6d rows × %d B\n", name, t.Rows, t.RowBytes)
+			for _, c := range t.Columns {
+				m := r.cat.Column(c)
+				fmt.Printf("     %-4s distinct=%-6d domain=[%d,%d]\n", m.Name, m.Distinct, m.Min, m.Max)
+			}
+		}
+
+	case strings.HasPrefix(line, `\seed `):
+		n, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, `\seed `)), 10, 64)
+		if err != nil {
+			fmt.Println("usage: \\seed N")
+			break
+		}
+		r.reset(n)
+		fmt.Printf("database regenerated with seed %d\n", n)
+
+	case strings.HasPrefix(line, `\explain `):
+		plan, err := r.db.Explain(strings.TrimPrefix(line, `\explain `))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(plan)
+
+	case strings.HasPrefix(line, `\memo `):
+		r.memo(strings.TrimPrefix(line, `\memo `))
+
+	case strings.HasPrefix(line, `\`):
+		fmt.Println("unknown command; available: \\tables \\explain \\memo \\seed \\quit")
+
+	default:
+		r.query(line)
+	}
+	return true
+}
+
+func (r *repl) memo(sql string) {
+	st, err := sqlish.Parse(r.cat, sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	opt := core.NewOptimizer(relopt.New(r.cat, relopt.DefaultConfig()), nil)
+	root := opt.InsertQuery(st.Tree)
+	if _, err := opt.Optimize(root, st.Required); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(opt.Memo().Format())
+}
+
+func (r *repl) query(sql string) {
+	res, err := r.db.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Plan.Format())
+	fmt.Printf("(%s)\n", strings.Join(res.Columns, ", "))
+	for i, row := range res.Rows {
+		if i >= r.limit {
+			fmt.Printf("... %d more rows\n", len(res.Rows)-r.limit)
+			break
+		}
+		fmt.Println(row)
+	}
+	fmt.Printf("%d rows; %d classes, %d expressions explored\n",
+		len(res.Rows), res.Stats.Groups, res.Stats.Exprs)
+}

@@ -1,0 +1,58 @@
+// The interesting_orders example shows the machinery the paper credits
+// for Volcano's plan quality: physical properties driving the search.
+// The same three-way join is optimized (1) with no requirement, (2) with
+// an ORDER BY, and (3) with the ORDER BY but the Starburst-style "glue"
+// strategy that optimizes first and patches enforcers on afterwards.
+// Property-directed search sorts small inputs early and rides merge-join
+// order upward; glue pays for a full sort of the final result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+)
+
+func main() {
+	src := datagen.New(42)
+	cat := src.Catalog(4)
+
+	// A fan-out join: the low-distinct join column makes the output far
+	// larger than either input, so sorting the inputs early (and riding
+	// the merge-join order) beats sorting the result.
+	sql := `SELECT R1.id, R1.jb, R2.v
+	        FROM R1, R2
+	        WHERE R1.jb = R2.jb`
+	ordered := sql + " ORDER BY R1.jb"
+
+	show := func(title, q string, opts *core.Options) float64 {
+		st, err := sqlish.Parse(cat, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt := core.NewOptimizer(relopt.New(cat, relopt.DefaultConfig()), opts)
+		root := opt.InsertQuery(st.Tree)
+		plan, err := opt.Optimize(root, st.Required)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s\n", title)
+		fmt.Print(plan.Format())
+		cost := plan.Cost.(relopt.Cost).Total()
+		fmt.Printf("   estimated cost %.1f\n\n", cost)
+		return cost
+	}
+
+	show("no required properties", sql, nil)
+	directed := show("ORDER BY R1.jb — property-directed search", ordered, nil)
+	glued := show("ORDER BY R1.jb — Starburst-style glue (ablation)", ordered,
+		&core.Options{GlueMode: true})
+
+	fmt.Printf("property-directed search wins by %.1f%%: it considers which\n",
+		100*(glued-directed)/glued)
+	fmt.Println("properties can be enforced where, instead of gluing a sort on top.")
+}

@@ -1,0 +1,109 @@
+// The oodb example demonstrates the extensibility the paper claims for
+// the optimizer generator: a second data model — class extents, the
+// Open OODB MATERIALIZE scope operator for path expressions, and
+// "assembledness" as a physical property enforced by the assembly
+// operator — optimized by the unchanged search engine. Sweeping the
+// path length shows the optimizer switching from pointer chasing to
+// assembly exactly where the costs cross over.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+)
+
+func main() {
+	cat := oodb.NewCatalog()
+	company := cat.AddClass("Company", 10, 400)
+	division := cat.AddClass("Division", 100, 300)
+	dept := cat.AddClass("Dept", 1000, 200)
+	emp := cat.AddClass("Emp", 10000, 150)
+	cat.AddScalar(emp, "age", 50)
+	cat.AddRef(emp, "dept", dept)
+	cat.AddRef(dept, "division", division)
+	cat.AddRef(division, "company", company)
+
+	model := oodb.New(cat, oodb.DefaultParams())
+	steps := []string{"dept", "division", "company"}
+
+	fmt.Println("path expression emp.dept.division.company, one step at a time:")
+	for k := 1; k <= len(steps); k++ {
+		tree := core.Node(&oodb.GetSet{Cls: emp})
+		for _, s := range steps[:k] {
+			tree = core.Node(&oodb.Materialize{Attr: s}, tree)
+		}
+		opt := core.NewOptimizer(model, nil)
+		root := opt.InsertQuery(tree)
+		plan, err := opt.Optimize(root, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== path length %d (emp.%s)\n", k, pathName(steps[:k]))
+		fmt.Print(plan.Format())
+	}
+
+	// A selective predicate shrinks the object set before the path; the
+	// optimizer assembles only survivors.
+	fmt.Println("\n== with a selective filter (age = 30) before a 3-step path")
+	tree := core.Node(&oodb.Select{Attr: "age", Op: oodb.CmpEQ, Val: 30},
+		core.Node(&oodb.GetSet{Cls: emp}))
+	for _, s := range steps {
+		tree = core.Node(&oodb.Materialize{Attr: s}, tree)
+	}
+	opt := core.NewOptimizer(model, nil)
+	root := opt.InsertQuery(tree)
+	plan, err := opt.Optimize(root, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Format())
+
+	// Execute the assembled plan on a real object graph and count
+	// dereferences: the assembly operator touches each object once.
+	st := populate(cat)
+	st.Fetches = 0
+	rows, err := oodb.Execute(st, cat, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexecuted: %d result paths, %d object dereferences\n", len(rows), st.Fetches)
+}
+
+// populate fills extents with a reference-complete object graph.
+func populate(cat *oodb.Catalog) *oodb.Store {
+	rng := rand.New(rand.NewSource(9))
+	st := oodb.NewStore()
+	company := cat.Class("Company")
+	division := cat.Class("Division")
+	dept := cat.Class("Dept")
+	emp := cat.Class("Emp")
+	for i := int64(1); i <= company.Objects; i++ {
+		st.Put(company, &oodb.Object{OID: i})
+	}
+	for i := int64(1); i <= division.Objects; i++ {
+		st.Put(division, &oodb.Object{OID: i, Refs: map[string]int64{"company": 1 + rng.Int63n(company.Objects)}})
+	}
+	for i := int64(1); i <= dept.Objects; i++ {
+		st.Put(dept, &oodb.Object{OID: i, Refs: map[string]int64{"division": 1 + rng.Int63n(division.Objects)}})
+	}
+	for i := int64(1); i <= emp.Objects; i++ {
+		st.Put(emp, &oodb.Object{
+			OID:     i,
+			Scalars: map[string]int64{"age": 18 + rng.Int63n(50)},
+			Refs:    map[string]int64{"dept": 1 + rng.Int63n(dept.Objects)},
+		})
+	}
+	return st
+}
+
+func pathName(steps []string) string {
+	out := steps[0]
+	for _, s := range steps[1:] {
+		out += "." + s
+	}
+	return out
+}

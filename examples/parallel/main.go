@@ -1,0 +1,89 @@
+// The parallel example extends the relational model with the
+// partitioning physical property and Volcano's exchange operator as its
+// enforcer: requesting a hash-partitioned result makes the optimizer
+// place exchange operators and choose partition-wise join algorithms,
+// and the execution engine runs the partitions in parallel goroutines.
+// The same query is executed serially and partitioned, verifying both
+// produce the same rows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+)
+
+func main() {
+	src := datagen.New(11)
+	cat := src.Catalog(3)
+	db := exec.FromData(cat, src.Rows(cat))
+
+	sql := `SELECT R1.id, R1.ja, R2.v
+	        FROM R1, R2
+	        WHERE R1.ja = R2.ja AND R2.v < 500`
+	st, err := sqlish.Parse(cat, sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	joinCol := cat.ColumnID("R1", "ja")
+
+	// Serial plan.
+	serialOpt := core.NewOptimizer(relopt.New(cat, relopt.DefaultConfig()), nil)
+	serialPlan, err := serialOpt.Optimize(serialOpt.InsertQuery(st.Tree), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== serial plan")
+	fmt.Print(serialPlan.Format())
+
+	// Parallel plan: require the result hash-partitioned on the join
+	// column across 4 partitions. The exchange enforcer establishes the
+	// partitioning; the join runs partition-wise.
+	cfg := relopt.DefaultConfig()
+	cfg.Parallel = true
+	cfg.Degree = 4
+	parOpt := core.NewOptimizer(relopt.New(cat, cfg), nil)
+	parPlan, err := parOpt.Optimize(parOpt.InsertQuery(st.Tree),
+		relopt.HashPartitioned(joinCol, 4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== partitioned plan (hash(R1.ja) x 4)")
+	fmt.Print(parPlan.Format())
+
+	// Execute both; the gather operator merges the partition streams
+	// produced by parallel goroutines.
+	serialRows, ss, err := exec.Run(db, serialPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parRows, ps, err := exec.Run(db, parPlan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := exec.Fingerprint(exec.Canonical(serialRows, ss)) ==
+		exec.Fingerprint(exec.Canonical(parRows, ps))
+	fmt.Printf("\nserial: %d rows, parallel: %d rows, identical multisets: %v\n",
+		len(serialRows), len(parRows), same)
+
+	// Show the partition balance.
+	counts := map[int64]int{}
+	pos := ps.Pos(joinCol)
+	for _, r := range parRows {
+		counts[r[pos]%4]++
+	}
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Printf("  partition %d: %d rows\n", k, counts[k])
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+// matchBindings enumerates every binding of pattern against the
+// expression e, invoking fn for each. Multi-level patterns bind through
+// equivalence classes: for each pattern child that is itself an operator
+// pattern, every matching member expression of the corresponding input
+// class yields a distinct binding, so a rule like join associativity
+// fires once per equivalent shape of the inner join.
+//
+// Input classes reached through operator sub-patterns are explored first
+// so the enumeration is complete; this is what makes the engine's
+// rule-to-fixpoint exploration equivalent to the paper's interleaved
+// transformation moves under exhaustive search.
+//
+// fn returns false to stop the enumeration early.
+func (m *Memo) matchBindings(e *Expr, pattern *Pattern, fn func(*Binding) bool) bool {
+	if pattern.IsLeaf {
+		panic("core: rule pattern root must be an operator pattern")
+	}
+	if !kindMatches(pattern.Kind, e.Op.Kind()) {
+		return true
+	}
+	if len(pattern.Children) != len(e.Inputs) {
+		return true
+	}
+	b := &Binding{Expr: e, Group: m.Find(e.group)}
+	return m.bindChildren(e, pattern, b, 0, fn)
+}
+
+func kindMatches(pat, got OpKind) bool { return pat == AnyKind || pat == got }
+
+// bindChildren extends binding b with matches for pattern children
+// starting at index i, invoking fn for each completed binding.
+func (m *Memo) bindChildren(e *Expr, pattern *Pattern, b *Binding, i int, fn func(*Binding) bool) bool {
+	if i == len(pattern.Children) {
+		if m.stats != nil {
+			m.stats.Bindings++
+		}
+		return fn(b)
+	}
+	childPat := pattern.Children[i]
+	inGroup := m.Find(e.Inputs[i])
+	if childPat.IsLeaf {
+		b.Children = append(b.Children, &Binding{Group: inGroup})
+		ok := m.bindChildren(e, pattern, b, i+1, fn)
+		b.Children = b.Children[:len(b.Children)-1]
+		return ok
+	}
+	// An operator sub-pattern must see the input class fully expanded.
+	m.exploreGroup(m.groups[inGroup-1])
+	g := m.groups[m.Find(inGroup)-1]
+	for j := 0; j < len(g.exprs); j++ {
+		sub := g.exprs[j]
+		if !kindMatches(childPat.Kind, sub.Op.Kind()) ||
+			len(childPat.Children) != len(sub.Inputs) {
+			continue
+		}
+		cb := &Binding{Expr: sub, Group: g.id}
+		cont := m.bindChildren(sub, childPat, cb, 0, func(complete *Binding) bool {
+			b.Children = append(b.Children, complete)
+			ok := m.bindChildren(e, pattern, b, i+1, fn)
+			b.Children = b.Children[:len(b.Children)-1]
+			return ok
+		})
+		if !cont {
+			return false
+		}
+	}
+	return true
+}
+
+// exploreGroup expands a class to transformation-rule fixpoint: every
+// rule is applied to every member expression (and to expressions added
+// along the way) until no new equivalent expressions appear. Per-
+// expression fired-rule masks guarantee each (expression, rule) pair is
+// attempted once, so exploration terminates whenever the rule set
+// generates a finite space.
+func (m *Memo) exploreGroup(g *Group) {
+	g = m.groups[m.Find(g.id)-1]
+	if g.explored || g.exploring || m.err != nil {
+		return
+	}
+	g.exploring = true
+	defer func() { g.exploring = false }()
+
+	rules := m.model.TransformationRules()
+	ctx := &RuleContext{Memo: m, Model: m.model}
+	for {
+		// Each pass attempts every (expression, rule) pair not yet
+		// attempted, marking attempts in the expression's rule mask.
+		// Merges reset the masks of affected expressions, which makes
+		// the next pass re-attempt them; the loop ends only when a
+		// full pass finds nothing left to attempt, i.e. at fixpoint.
+		attempted := false
+		for i := 0; i < len(g.exprs); i++ { // g.exprs may grow while iterating
+			e := g.exprs[i]
+			for ri, rule := range rules {
+				if e.ruleApplied(ri) {
+					continue
+				}
+				e.markRuleApplied(ri)
+				if !kindMatches(rule.Pattern.Kind, e.Op.Kind()) ||
+					len(rule.Pattern.Children) != len(e.Inputs) {
+					continue
+				}
+				attempted = true
+				m.matchBindings(e, rule.Pattern, func(b *Binding) bool {
+					if rule.Condition != nil && !rule.Condition(ctx, b) {
+						return true
+					}
+					if m.stats != nil {
+						m.stats.RulesFired++
+					}
+					for _, sub := range rule.Apply(ctx, b) {
+						root := m.Find(g.id)
+						m.insertSubstitute(sub, root)
+						if m.err != nil {
+							return false
+						}
+					}
+					return true
+				})
+				if m.err != nil {
+					return
+				}
+				// A merge may have moved this class; re-resolve so the
+				// iteration sees the surviving expression list.
+				if moved := m.groups[m.Find(g.id)-1]; moved != g {
+					g = moved
+					attempted = true
+				}
+			}
+		}
+		if !attempted {
+			break
+		}
+	}
+	g.explored = true
+}
+
+// insertSubstitute inserts a rule substitute: the root lands in the
+// matched class, inner nodes in their own (possibly new) classes.
+func (m *Memo) insertSubstitute(t *ExprTree, target GroupID) (GroupID, bool) {
+	if t.Op == nil {
+		// A rule may return a bare class reference as substitute,
+		// asserting that the matched class equals an existing one.
+		ref := m.Find(t.Group)
+		if ref != target {
+			return m.merge(ref, target), true
+		}
+		return target, false
+	}
+	inputs := make([]GroupID, len(t.Children))
+	for i, c := range t.Children {
+		inputs[i] = m.InsertTree(c, InvalidGroup)
+	}
+	return m.Insert(t.Op, inputs, target)
+}

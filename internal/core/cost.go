@@ -1,0 +1,51 @@
+// Package core implements the model-independent search engine of the
+// Volcano optimizer generator (Graefe & McKenna, ICDE 1993).
+//
+// The engine optimizes an expression over a logical algebra into the
+// cheapest equivalent expression over a physical algebra, using directed
+// dynamic programming: a top-down, goal-oriented search driven by
+// required physical properties, with memoization of both optimal
+// sub-plans and optimization failures, and branch-and-bound pruning.
+//
+// The engine makes no assumptions about the data model. Operators,
+// algorithms, rules, costs, and properties are supplied by an optimizer
+// implementor through the Model interface; cost, logical properties, and
+// physical property vectors are abstract data types manipulated only
+// through their methods, exactly as prescribed by the paper.
+package core
+
+// Cost is the abstract data type for plan costs. The paper leaves the
+// representation to the optimizer implementor: it may be a single number
+// (estimated elapsed time), a record (CPU time and I/O count as in
+// System R), or any other type, as long as the arithmetic and comparison
+// functions below are provided.
+//
+// Implementations must be immutable: Add returns a new value and leaves
+// the receiver unchanged.
+type Cost interface {
+	// Add returns the sum of the receiver and other.
+	Add(other Cost) Cost
+	// Sub returns the receiver minus other. It is used to pass cost
+	// limits down during the optimization of subexpressions ("Limit -
+	// TotalCost" in the paper's Figure 2). Subtracting from an
+	// infinite cost must yield an infinite cost.
+	Sub(other Cost) Cost
+	// Less reports whether the receiver is strictly cheaper than other.
+	Less(other Cost) bool
+	// String renders the cost for plan display and tracing.
+	String() string
+}
+
+// CostModel supplies the distinguished cost values the search engine
+// needs: a zero for accumulation and an infinity for initial limits.
+// It is part of the Model interface.
+type CostModel interface {
+	// ZeroCost returns the additive identity of the cost ADT.
+	ZeroCost() Cost
+	// InfiniteCost returns a cost greater than every achievable plan
+	// cost. It is the default optimization limit for user queries.
+	InfiniteCost() Cost
+}
+
+// costLE reports c <= d under the ADT's ordering.
+func costLE(c, d Cost) bool { return !d.Less(c) }

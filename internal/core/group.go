@@ -1,0 +1,139 @@
+package core
+
+// Group is an equivalence class: two collections, one of equivalent
+// logical expressions and one of physical plans, plus the logical
+// properties shared by every member and a winner table recording, for
+// each combination of physical properties already optimized, the best
+// plan found — or a remembered failure. Both optimal plans and failures
+// are the "interesting facts" the paper's search algorithm captures for
+// possible future use.
+type Group struct {
+	id GroupID
+
+	// exprs is the collection of logical expressions known to be
+	// equivalent. exprs[0] is the expression that created the group.
+	exprs []*Expr
+
+	// parents lists every expression (in any class) that consumes this
+	// class as an input. When this class gains members through a
+	// merge, the parents' fired-rule masks are reset so multi-level
+	// patterns can re-match through the enlarged class.
+	parents []*Expr
+
+	// logProps are the logical properties of the class, derived once
+	// from the creating expression before any optimization.
+	logProps LogicalProps
+
+	// winners maps a (required, excluded) physical property pair to
+	// the optimization outcome for this class under that requirement.
+	winners map[physKey]*winner
+
+	// explored is set once the group's logical expressions have been
+	// expanded to transformation-rule fixpoint.
+	explored bool
+	// exploring guards against re-entrant exploration through cyclic
+	// rule derivations.
+	exploring bool
+}
+
+// winner is a winner-table entry: the outcome of optimizing a group for
+// one (required, excluded) physical property pair. The excluded vector
+// is non-nil only for optimizations of enforcer inputs, where algorithms
+// that already qualified for the original requirement are kept out.
+type winner struct {
+	props    PhysProps
+	excluded PhysProps
+	// plan and cost hold the best complete plan found, when found.
+	// A recorded plan is globally optimal for its property pair:
+	// branch-and-bound never prunes a plan cheaper than the winner.
+	plan *Plan
+	cost Cost
+	// failedLimit is set when optimization failed; it records the
+	// highest cost limit under which failure was established. A later
+	// request with a limit not exceeding failedLimit can fail
+	// immediately; a request with a higher limit must re-optimize.
+	failedLimit Cost
+	// inProgress marks the entry while its optimization is on the call
+	// stack, so cyclic derivations do not loop.
+	inProgress bool
+	// next chains entries whose property pairs collide in the hash.
+	next *winner
+}
+
+// ID returns the group's identifier.
+func (g *Group) ID() GroupID { return g.id }
+
+// LogicalProps returns the logical properties of the equivalence class.
+func (g *Group) LogicalProps() LogicalProps { return g.logProps }
+
+// Exprs returns the logical expressions currently in the class. The
+// slice must not be modified.
+func (g *Group) Exprs() []*Expr { return g.exprs }
+
+// Explored reports whether the group has been expanded to
+// transformation-rule fixpoint.
+func (g *Group) Explored() bool { return g.explored }
+
+// winnerKey hashes a (required, excluded) pair.
+func winnerKey(props, excluded PhysProps) physKey {
+	k := uint64(keyOf(props))
+	if excluded != nil {
+		k = k*1099511628211 ^ excluded.Hash()
+	}
+	return physKey(k)
+}
+
+// sameExcluded compares excluded vectors, treating nil as distinct from
+// every non-nil vector.
+func sameExcluded(a, b PhysProps) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+// lookupWinner returns the winner entry for the pair, or nil.
+func (g *Group) lookupWinner(props, excluded PhysProps) *winner {
+	for w := g.winners[winnerKey(props, excluded)]; w != nil; w = w.next {
+		if w.props.Equal(props) && sameExcluded(w.excluded, excluded) {
+			return w
+		}
+	}
+	return nil
+}
+
+// ensureWinner returns the winner entry for the pair, creating an empty
+// one if none exists.
+func (g *Group) ensureWinner(props, excluded PhysProps) *winner {
+	if w := g.lookupWinner(props, excluded); w != nil {
+		return w
+	}
+	if g.winners == nil {
+		g.winners = make(map[physKey]*winner)
+	}
+	k := winnerKey(props, excluded)
+	w := &winner{props: props, excluded: excluded, next: g.winners[k]}
+	g.winners[k] = w
+	return w
+}
+
+// BestPlan returns the best plan recorded for the given physical
+// property vector, or nil if the group has not been successfully
+// optimized for it.
+func (g *Group) BestPlan(props PhysProps) *Plan {
+	if w := g.lookupWinner(props, nil); w != nil {
+		return w.plan
+	}
+	return nil
+}
+
+// winnerCount returns the number of winner entries (for statistics).
+func (g *Group) winnerCount() int {
+	n := 0
+	for _, w := range g.winners {
+		for ; w != nil; w = w.next {
+			n++
+		}
+	}
+	return n
+}

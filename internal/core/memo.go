@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Memo is the hash table of expressions and equivalence classes at the
+// heart of the search engine. It detects redundant derivations of the
+// same logical expression — algebraic transformation systems always
+// include the possibility of deriving the same expression in several
+// different ways — and collapses them, so each expression is optimized
+// at most once per physical property requirement.
+//
+// The memo is reinitialized for each query being optimized, matching the
+// paper's current design (longer-lived partial results are future work).
+type Memo struct {
+	model Model
+
+	// groups[i] holds the class with GroupID i+1.
+	groups []*Group
+	// parent implements union-find over classes: two classes are
+	// merged when a transformation derives, in one class, an
+	// expression already present in another. parent[i] is the parent
+	// of GroupID i+1; a root is its own parent.
+	parent []GroupID
+	// table chains expressions by identity hash.
+	table map[uint64]*Expr
+
+	exprCount int
+	stats     *Stats
+	opts      *Options
+	err       error
+}
+
+// ErrBudget is returned when the search exceeds the configured
+// expression budget. It mirrors the paper's observation that the EXODUS
+// prototype aborted on larger queries due to lack of memory; the Volcano
+// engine's budget exists so experiments can account memory faithfully.
+var ErrBudget = errors.New("core: memo expression budget exhausted")
+
+// NewMemo creates an empty memo for the given model.
+func NewMemo(model Model, opts *Options, stats *Stats) *Memo {
+	return &Memo{
+		model: model,
+		table: make(map[uint64]*Expr),
+		stats: stats,
+		opts:  opts,
+	}
+}
+
+// Model returns the data model this memo optimizes.
+func (m *Memo) Model() Model { return m.model }
+
+// Err returns the first budget or consistency error encountered.
+func (m *Memo) Err() error { return m.err }
+
+// GroupCount returns the number of equivalence classes created,
+// including classes that were later merged away.
+func (m *Memo) GroupCount() int { return len(m.groups) }
+
+// ExprCount returns the number of distinct logical expressions stored.
+func (m *Memo) ExprCount() int { return m.exprCount }
+
+// Find resolves a class through merges to its current representative.
+func (m *Memo) Find(g GroupID) GroupID {
+	for m.parent[g-1] != g {
+		// Path halving keeps chains short.
+		m.parent[g-1] = m.parent[m.parent[g-1]-1]
+		g = m.parent[g-1]
+	}
+	return g
+}
+
+// Group returns the equivalence class named by g, resolving merges.
+func (m *Memo) Group(g GroupID) *Group {
+	return m.groups[m.Find(g)-1]
+}
+
+// Groups calls fn for every live (unmerged) class.
+func (m *Memo) Groups(fn func(*Group)) {
+	for i, g := range m.groups {
+		if m.parent[i] == g.id {
+			fn(g)
+		}
+	}
+}
+
+// newGroup creates a fresh class holding e and derives its logical
+// properties from the member expression.
+func (m *Memo) newGroup(e *Expr) *Group {
+	id := GroupID(len(m.groups) + 1)
+	inProps := make([]LogicalProps, len(e.Inputs))
+	for i, in := range e.Inputs {
+		inProps[i] = m.Group(in).LogicalProps()
+	}
+	g := &Group{
+		id:       id,
+		exprs:    []*Expr{e},
+		logProps: m.model.DeriveLogicalProps(e.Op, inProps),
+	}
+	e.group = id
+	m.groups = append(m.groups, g)
+	m.parent = append(m.parent, id)
+	if m.stats != nil {
+		m.stats.Groups++
+	}
+	return g
+}
+
+// canon canonicalizes input class references through merges.
+func (m *Memo) canon(inputs []GroupID) []GroupID {
+	for i, g := range inputs {
+		if r := m.Find(g); r != g {
+			inputs[i] = r
+		}
+	}
+	return inputs
+}
+
+// lookup finds the expression (op, inputs) in the hash table, if stored.
+// Inputs must already be canonical.
+func (m *Memo) lookup(op LogicalOp, inputs []GroupID) *Expr {
+	for e := m.table[exprHash(op, inputs)]; e != nil; e = e.next {
+		if exprEqual(e, op, inputs) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert adds the expression (op, inputs) to the memo. If target is
+// InvalidGroup the expression joins an existing class when one already
+// contains it, or founds a new class. If target names a class and the
+// expression is found in a different class, the two classes are merged:
+// the derivation proves them equivalent (the paper's Figure 3 discusses
+// exactly this creation and unification of classes during associativity).
+//
+// The returned class is the (representative) class now containing the
+// expression; created reports whether the expression was new.
+func (m *Memo) Insert(op LogicalOp, inputs []GroupID, target GroupID) (GroupID, bool) {
+	if m.err != nil {
+		return target, false
+	}
+	if op.Arity() != len(inputs) {
+		panic(fmt.Sprintf("core: operator %s has arity %d but %d inputs supplied",
+			op.Name(), op.Arity(), len(inputs)))
+	}
+	inputs = m.canon(append([]GroupID(nil), inputs...))
+	if target != InvalidGroup {
+		target = m.Find(target)
+	}
+	if e := m.lookup(op, inputs); e != nil {
+		home := m.Find(e.group)
+		if target != InvalidGroup && home != target {
+			return m.merge(home, target), false
+		}
+		return home, false
+	}
+	if m.opts != nil && m.opts.MaxExprs > 0 && m.exprCount >= m.opts.MaxExprs {
+		m.err = ErrBudget
+		return target, false
+	}
+	e := &Expr{Op: op, Inputs: inputs}
+	h := exprHash(op, inputs)
+	e.next = m.table[h]
+	m.table[h] = e
+	m.exprCount++
+	if m.stats != nil {
+		m.stats.Exprs++
+	}
+	for _, in := range inputs {
+		ig := m.groups[in-1]
+		ig.parents = append(ig.parents, e)
+	}
+	if target == InvalidGroup {
+		return m.newGroup(e).id, true
+	}
+	g := m.groups[target-1]
+	e.group = target
+	g.exprs = append(g.exprs, e)
+	return target, true
+}
+
+// merge unifies two classes proven equivalent and returns the surviving
+// representative. Expressions move to the survivor; winner tables keep
+// the cheaper entry per property vector. Classes under optimization
+// cannot be merged mid-flight in this engine because transformations run
+// to fixpoint during exploration, before cost analysis, so in-progress
+// winner entries never collide here.
+func (m *Memo) merge(a, b GroupID) GroupID {
+	a, b = m.Find(a), m.Find(b)
+	if a == b {
+		return a
+	}
+	// Keep the older class as representative for stable IDs.
+	if b < a {
+		a, b = b, a
+	}
+	ga, gb := m.groups[a-1], m.groups[b-1]
+	m.parent[b-1] = a
+	for _, e := range gb.exprs {
+		e.group = a
+	}
+	ga.exprs = append(ga.exprs, gb.exprs...)
+	gb.exprs = nil
+	for _, w := range gb.winners {
+		for ; w != nil; w = w.next {
+			dst := ga.ensureWinner(w.props, w.excluded)
+			if dst.plan == nil || (w.plan != nil && w.cost.Less(dst.cost)) {
+				dst.plan, dst.cost = w.plan, w.cost
+			}
+		}
+	}
+	gb.winners = nil
+	// The merged class must be (re-)explored: rules may now fire on
+	// the union of expressions, and every expression that consumes
+	// either side can now bind through new members, so the fired-rule
+	// masks of all parents are reset and their classes re-opened.
+	ga.explored = false
+	ga.parents = append(ga.parents, gb.parents...)
+	gb.parents = nil
+	for _, p := range ga.parents {
+		p.appliedRules = 0
+		pg := m.groups[m.Find(p.group)-1]
+		pg.explored = false
+	}
+	if m.stats != nil {
+		m.stats.Merges++
+	}
+	return a
+}
+
+// InsertTree inserts a whole expression tree, bottom-up. Leaf references
+// splice in existing classes. The root joins target (see Insert); inner
+// nodes join their existing class or found new ones.
+func (m *Memo) InsertTree(t *ExprTree, target GroupID) GroupID {
+	if t.Op == nil {
+		return m.Find(t.Group)
+	}
+	inputs := make([]GroupID, len(t.Children))
+	for i, c := range t.Children {
+		inputs[i] = m.InsertTree(c, InvalidGroup)
+	}
+	g, _ := m.Insert(t.Op, inputs, target)
+	return g
+}
+
+// MemoryBytes returns an estimate of the memo's working-set size,
+// supporting the paper's report that Volcano performed exhaustive search
+// for all test queries within 1 MB of work space.
+func (m *Memo) MemoryBytes() int {
+	const (
+		groupBytes  = 96 // Group struct + slice headers
+		exprBytes   = 80 // Expr struct + average input slice
+		winnerBytes = 72 // winner struct + map entry share
+	)
+	bytes := 0
+	m.Groups(func(g *Group) {
+		bytes += groupBytes + exprBytes*len(g.exprs) + winnerBytes*g.winnerCount()
+	})
+	return bytes
+}

@@ -1,0 +1,52 @@
+package core
+
+// OpKind identifies a logical operator of the model's logical algebra.
+// Kinds are small integers assigned by the optimizer implementor (or by
+// the optimizer generator when it translates a model specification);
+// the engine uses them for fast pattern matching, mirroring the paper's
+// observation that translating strings into integers made EXODUS
+// pattern matching very fast.
+type OpKind int32
+
+// AnyKind is the wildcard kind used in rule patterns; it matches every
+// logical operator.
+const AnyKind OpKind = -1
+
+// LogicalOp is one logical operator instance: a kind plus whatever
+// arguments the model attaches (predicates, projection lists, relation
+// names, …). Operator instances are immutable once inserted into the
+// memo.
+//
+// Two operator instances with the same kind, equal arguments, and the
+// same input groups denote the same expression; the memo uses ArgsEqual
+// and ArgsHash to detect such duplicates and collapse them into one
+// equivalence-class member.
+type LogicalOp interface {
+	// Kind returns the operator's kind.
+	Kind() OpKind
+	// Arity returns the number of inputs the operator consumes.
+	// Operators can have zero or more inputs; the engine places no
+	// bound on arity.
+	Arity() int
+	// ArgsEqual reports whether other carries the same arguments.
+	// It is only invoked for operators of the same kind.
+	ArgsEqual(other LogicalOp) bool
+	// ArgsHash returns a hash of the arguments consistent with
+	// ArgsEqual.
+	ArgsHash() uint64
+	// Name returns the operator name for tracing and plan display.
+	Name() string
+	// String renders the operator with its arguments.
+	String() string
+}
+
+// PhysicalOp is one operator of the physical algebra: a query processing
+// algorithm (merge-join, file scan, …) or an enforcer (sort,
+// decompression, exchange, assembly, …). Physical operators appear only
+// inside plans; the engine treats them as opaque.
+type PhysicalOp interface {
+	// Name returns the algorithm name for plan display.
+	Name() string
+	// String renders the algorithm with its arguments.
+	String() string
+}

@@ -1,0 +1,108 @@
+package core
+
+// TraceFunc receives printf-style search-trace events when tracing is
+// enabled. Events cover rule firings, moves, winners, and failures.
+type TraceFunc func(format string, args ...any)
+
+// Options tune the search engine. The zero value is the paper's default
+// configuration: exhaustive directed dynamic programming with
+// branch-and-bound pruning and memoization of both winners and failures.
+//
+// The toggles exist because the paper places heuristics and search
+// control "into the hands of the optimizer implementor": they drive the
+// ablation experiments in EXPERIMENTS.md and let implementors reproduce
+// weaker strategies (EXODUS- or Starburst-like) for comparison.
+type Options struct {
+	// NoPruning disables branch-and-bound: every move is pursued to
+	// completion regardless of the cost limit.
+	NoPruning bool
+	// NoFailureMemo disables memoization of optimization failures
+	// ("interesting facts ... include failures that can save future
+	// optimization effort").
+	NoFailureMemo bool
+	// GlueMode replaces property-directed search with the Starburst
+	// strategy the paper argues against: each class is optimized once
+	// without property requirements, and enforcers are glued on top of
+	// the winning plan afterwards.
+	GlueMode bool
+	// MaxExprs bounds the number of logical expressions in the memo;
+	// exceeding it aborts optimization with ErrBudget. Zero means
+	// unbounded.
+	MaxExprs int
+	// MoveFilter, if non-nil, selects and orders the moves pursued for
+	// each optimization goal. It receives the promise-ordered move
+	// list and returns the (possibly trimmed, reordered) list to
+	// pursue. Returning a subset makes the search heuristic rather
+	// than exhaustive.
+	MoveFilter func(moves []Move) []Move
+	// Trace, if non-nil, receives search-trace events.
+	Trace TraceFunc
+}
+
+// MoveKind distinguishes the three kinds of moves the optimizer can
+// explore at any point.
+type MoveKind int8
+
+// The move kinds of the paper's Figure 2. Transformation moves are
+// subsumed by group exploration in this engine (equivalent under
+// exhaustive search) and reported to MoveFilter for visibility only.
+const (
+	// MoveAlgorithm applies an implementation rule.
+	MoveAlgorithm MoveKind = iota
+	// MoveEnforcer applies a property-enforcing physical operator.
+	MoveEnforcer
+)
+
+// Move is one candidate step for an optimization goal, exposed to the
+// MoveFilter heuristic hook.
+type Move struct {
+	// Kind says whether the move applies an algorithm or an enforcer.
+	Kind MoveKind
+	// Promise is the rule's or enforcer's promise; moves are pursued
+	// in descending promise order.
+	Promise int
+	// Rule is the implementation rule for MoveAlgorithm moves.
+	Rule *ImplRule
+	// Binding is the matched expression for MoveAlgorithm moves.
+	Binding *Binding
+	// Alts are the acceptable input property combinations for
+	// MoveAlgorithm moves.
+	Alts []InputReq
+	// Enforcer is the enforcer for MoveEnforcer moves.
+	Enforcer *Enforcer
+}
+
+// Stats accumulates search-effort counters for one optimizer run. They
+// feed the experiment harness (optimization effort, memory) and the
+// consistency checks in the test suite.
+type Stats struct {
+	// Groups is the number of equivalence classes created.
+	Groups int
+	// Exprs is the number of distinct logical expressions stored.
+	Exprs int
+	// Merges is the number of class unifications performed.
+	Merges int
+	// RulesFired counts transformation-rule applications (post
+	// condition code).
+	RulesFired int
+	// Bindings counts pattern-match bindings enumerated.
+	Bindings int
+	// AlgorithmMoves counts algorithm moves pursued.
+	AlgorithmMoves int
+	// EnforcerMoves counts enforcer moves pursued.
+	EnforcerMoves int
+	// Pruned counts moves abandoned by branch-and-bound.
+	Pruned int
+	// WinnerHits counts goals answered from the winner table.
+	WinnerHits int
+	// FailureHits counts goals answered from memoized failures.
+	FailureHits int
+	// GoalsOptimized counts goals actually searched.
+	GoalsOptimized int
+	// ConsistencyViolations counts plans whose delivered physical
+	// properties failed to cover the requested vector — the paper's
+	// consistency check. Always zero for a correct model.
+	ConsistencyViolations int
+	// PeakMemoBytes is the largest memo size estimate observed.
+	PeakMemoBytes int
+}

@@ -1,0 +1,511 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Optimizer is a generated optimizer: the model-independent search
+// engine bound to one data model. It maps expressions over the model's
+// logical algebra into the cheapest equivalent expressions over the
+// model's physical algebra, honoring required physical properties.
+//
+// An Optimizer (and its memo) serves one query; the set of partial
+// optimization results is reinitialized for each query being optimized,
+// as in the paper.
+type Optimizer struct {
+	model Model
+	memo  *Memo
+	opts  Options
+	stats Stats
+	ctx   *RuleContext
+}
+
+// NewOptimizer creates an optimizer for the model. opts may be nil for
+// the default (exhaustive, pruned, memoizing) configuration.
+func NewOptimizer(model Model, opts *Options) *Optimizer {
+	if n := len(model.TransformationRules()); n > MaxTransformRules {
+		panic(fmt.Sprintf("core: model %s declares %d transformation rules; max is %d",
+			model.Name(), n, MaxTransformRules))
+	}
+	o := &Optimizer{model: model}
+	if opts != nil {
+		o.opts = *opts
+	}
+	o.memo = NewMemo(model, &o.opts, &o.stats)
+	o.ctx = &RuleContext{Memo: o.memo, Model: model}
+	return o
+}
+
+// Memo returns the optimizer's memo for inspection.
+func (o *Optimizer) Memo() *Memo { return o.memo }
+
+// Stats returns the search-effort counters accumulated so far.
+func (o *Optimizer) Stats() *Stats { return &o.stats }
+
+// InsertQuery loads a user query — an algebra expression (tree) of
+// logical operators — into the memo and returns its equivalence class.
+func (o *Optimizer) InsertQuery(t *ExprTree) GroupID {
+	return o.memo.InsertTree(t, InvalidGroup)
+}
+
+// Explore expands the class (and, through rule bindings, everything it
+// references) to transformation-rule fixpoint without any algorithm
+// selection or cost analysis. This is the extreme point the paper
+// mentions — transforming a logical expression without cost analysis,
+// covering the optimizations Starburst separates into its query rewrite
+// level — available here as a choice, not a mandate.
+func (o *Optimizer) Explore(g GroupID) error {
+	if g == InvalidGroup {
+		// Query insertion itself failed (e.g. expression budget).
+		if err := o.memo.Err(); err != nil {
+			return err
+		}
+		return ErrBudget
+	}
+	o.memo.exploreGroup(o.memo.Group(g))
+	return o.memo.err
+}
+
+// Optimize finds the cheapest plan for the class that delivers the
+// required physical properties (nil means no requirement). It is the
+// original invocation of the paper's FindBestPlan, with the cost limit
+// set to infinity.
+func (o *Optimizer) Optimize(root GroupID, required PhysProps) (*Plan, error) {
+	return o.OptimizeWithLimit(root, required, o.model.InfiniteCost())
+}
+
+// OptimizeWithLimit is Optimize with a caller-supplied cost limit; a
+// user interface may set a finite limit to "catch" unreasonable queries.
+// If no plan within the limit exists, the returned plan is nil.
+func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Cost) (*Plan, error) {
+	if root == InvalidGroup {
+		if err := o.memo.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrBudget
+	}
+	if required == nil {
+		required = o.model.AnyProps()
+	}
+	var plan *Plan
+	if o.opts.GlueMode {
+		plan = o.glueOptimize(root, required, limit)
+	} else {
+		plan, _ = o.findBestPlan(root, required, nil, limit)
+	}
+	if err := o.memo.Err(); err != nil {
+		return nil, err
+	}
+	if b := o.memo.MemoryBytes(); b > o.stats.PeakMemoBytes {
+		o.stats.PeakMemoBytes = b
+	}
+	return plan, nil
+}
+
+// trace emits a search-trace event if tracing is enabled.
+func (o *Optimizer) trace(format string, args ...any) {
+	if o.opts.Trace != nil {
+		o.opts.Trace(format, args...)
+	}
+}
+
+// goal carries the mutable state of one FindBestPlan activation.
+type goal struct {
+	required PhysProps
+	excluded PhysProps
+	// limit is the branch-and-bound bound; it tightens as complete
+	// plans are found.
+	limit Cost
+	best  *Plan
+	// transient is set when a failure was (possibly) caused by an
+	// in-progress cycle or budget stop, making it unsafe to memoize.
+	transient bool
+}
+
+// findBestPlan is the paper's FindBestPlan (Figure 2) extended with the
+// excluding physical property vector used for enforcer inputs. It
+// returns the best plan within limit, or nil; transient reports that a
+// nil result must not be treated as a definitive failure.
+func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limit Cost) (plan *Plan, transient bool) {
+	if o.memo.err != nil {
+		return nil, true
+	}
+	gid = o.memo.Find(gid)
+	g := o.memo.groups[gid-1]
+
+	// First part: answer from the look-up table when possible.
+	if w := g.lookupWinner(required, excluded); w != nil {
+		if w.inProgress {
+			return nil, true
+		}
+		if w.plan != nil {
+			o.stats.WinnerHits++
+			if costLE(w.cost, limit) {
+				return w.plan, false
+			}
+			// The recorded plan is optimal; a tighter limit cannot
+			// be met by any other plan.
+			return nil, false
+		}
+		if !o.opts.NoFailureMemo && w.failedLimit != nil && costLE(limit, w.failedLimit) {
+			o.stats.FailureHits++
+			return nil, false
+		}
+	}
+
+	// Else: optimization required.
+	w := g.ensureWinner(required, excluded)
+	w.inProgress = true
+	defer func() {
+		w.inProgress = false
+		// The class may have merged away mid-search; release the
+		// surviving entry too.
+		if cur := o.memo.Group(gid); cur != g {
+			if cw := cur.lookupWinner(required, excluded); cw != nil {
+				cw.inProgress = false
+			}
+		}
+	}()
+	o.stats.GoalsOptimized++
+
+	s := &goal{required: required, excluded: excluded, limit: limit}
+	for {
+		gid = o.memo.Find(gid)
+		g = o.memo.groups[gid-1]
+		o.memo.exploreGroup(g)
+		if o.memo.err != nil {
+			s.transient = true
+			break
+		}
+		nExprs := len(g.exprs)
+
+		moves := o.collectMoves(g, required)
+		if o.opts.MoveFilter != nil {
+			moves = o.opts.MoveFilter(moves)
+		}
+		for i := range moves {
+			switch moves[i].Kind {
+			case MoveAlgorithm:
+				o.pursueAlgorithm(s, g, &moves[i])
+			case MoveEnforcer:
+				o.pursueEnforcer(s, g, moves[i].Enforcer)
+			}
+			if o.memo.err != nil {
+				s.transient = true
+				break
+			}
+		}
+
+		// Child optimizations can enlarge or merge this class (new
+		// equivalent expressions discovered through other classes);
+		// re-collect moves until the class is stable so the search
+		// stays exhaustive.
+		cur := o.memo.Find(gid)
+		cg := o.memo.groups[cur-1]
+		if cur == gid && cg.explored && len(cg.exprs) == nExprs {
+			break
+		}
+	}
+
+	// Maintain the look-up table of explored facts: optimal plans and
+	// failures are both interesting with respect to possible future use.
+	gid = o.memo.Find(gid)
+	fw := o.memo.groups[gid-1].ensureWinner(required, excluded)
+	if s.best != nil {
+		if fw.plan == nil || s.best.Cost.Less(fw.cost) {
+			fw.plan, fw.cost = s.best, s.best.Cost
+		}
+		o.trace("winner group=%d props=%s cost=%s plan=%s", gid, required, fw.cost, fw.plan)
+		if costLE(fw.cost, limit) {
+			return fw.plan, false
+		}
+		return nil, false
+	}
+	if !s.transient && !o.opts.NoFailureMemo {
+		if fw.failedLimit == nil || fw.failedLimit.Less(limit) {
+			fw.failedLimit = limit
+		}
+		o.trace("failure group=%d props=%s limit=%s", gid, required, limit)
+	}
+	return nil, s.transient
+}
+
+// collectMoves creates the set of possible moves for one goal —
+// algorithms that can deliver the required properties and enforcers for
+// the required properties — ordered by promise. (Transformations, the
+// third move kind of Figure 2, are applied to fixpoint by exploreGroup,
+// which is equivalent under exhaustive search.)
+func (o *Optimizer) collectMoves(g *Group, required PhysProps) []Move {
+	var moves []Move
+	for _, rule := range o.model.ImplementationRules() {
+		for i := 0; i < len(g.exprs); i++ {
+			e := g.exprs[i]
+			o.memo.matchBindings(e, rule.Pattern, func(b *Binding) bool {
+				if rule.Condition != nil && !rule.Condition(o.ctx, b) {
+					return true
+				}
+				alts, ok := rule.Applicability(o.ctx, b, required)
+				if !ok || len(alts) == 0 {
+					return true
+				}
+				moves = append(moves, Move{
+					Kind:    MoveAlgorithm,
+					Promise: rule.Promise,
+					Rule:    rule,
+					Binding: cloneBinding(b),
+					Alts:    alts,
+				})
+				return true
+			})
+		}
+	}
+	for _, enf := range o.model.Enforcers() {
+		moves = append(moves, Move{Kind: MoveEnforcer, Promise: enf.Promise, Enforcer: enf})
+	}
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Promise > moves[j].Promise })
+	return moves
+}
+
+// cloneBinding deep-copies a binding; the matcher reuses child slices
+// during enumeration, so stored bindings need their own copies.
+func cloneBinding(b *Binding) *Binding {
+	c := &Binding{Expr: b.Expr, Group: b.Group}
+	if len(b.Children) > 0 {
+		c.Children = make([]*Binding, len(b.Children))
+		for i, ch := range b.Children {
+			c.Children[i] = cloneBinding(ch)
+		}
+	}
+	return c
+}
+
+// prune reports whether a partial cost already reaches the bound; such
+// moves cannot lead to a better plan and are abandoned.
+func (o *Optimizer) prune(s *goal, partial Cost) bool {
+	if o.opts.NoPruning {
+		return false
+	}
+	if costLE(s.limit, partial) {
+		o.stats.Pruned++
+		return true
+	}
+	return false
+}
+
+// childLimit is the cost limit passed down when optimizing an input:
+// the remaining budget after the partial cost accumulated so far.
+func (o *Optimizer) childLimit(s *goal, partial Cost) Cost {
+	if o.opts.NoPruning {
+		return o.model.InfiniteCost()
+	}
+	return s.limit.Sub(partial)
+}
+
+// offer installs a complete plan as the goal's best if it improves on
+// the current one, tightening the branch-and-bound limit.
+func (o *Optimizer) offer(s *goal, p *Plan) {
+	if s.best == nil || p.Cost.Less(s.best.Cost) {
+		s.best = p
+		if !o.opts.NoPruning && p.Cost.Less(s.limit) {
+			s.limit = p.Cost
+		}
+	}
+}
+
+// pursueAlgorithm explores one algorithm move: for each acceptable input
+// property combination, cost the algorithm, optimize each input under
+// the remaining budget, and offer the completed plan.
+func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
+	o.stats.AlgorithmMoves++
+	rule, b := mv.Rule, mv.Binding
+	leaves := b.Leaves(nil)
+	for _, alt := range mv.Alts {
+		if len(alt.Required) != len(leaves) {
+			panic(fmt.Sprintf("core: rule %s returned %d input requirements for %d inputs",
+				rule.Name, len(alt.Required), len(leaves)))
+		}
+		local := rule.Cost(o.ctx, b, s.required, alt)
+		total := local
+		if o.prune(s, total) {
+			continue
+		}
+		inPlans := make([]*Plan, len(leaves))
+		inProps := make([]PhysProps, len(leaves))
+		ok := true
+		for i, leaf := range leaves {
+			childReq := alt.Required[i]
+			if o.opts.GlueMode {
+				childReq = o.model.AnyProps()
+			}
+			p, tr := o.findBestPlan(leaf, childReq, nil, o.childLimit(s, total))
+			if p == nil {
+				s.transient = s.transient || tr
+				ok = false
+				break
+			}
+			if o.opts.GlueMode {
+				// Starburst-style glue: patch the input up to the
+				// algorithm's needs after the fact.
+				p, ok = o.wrapWithEnforcers(p, alt.Required[i], 0)
+				if !ok {
+					break
+				}
+			}
+			inPlans[i] = p
+			inProps[i] = p.Delivered
+			total = total.Add(p.Cost)
+			if o.prune(s, total) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		delivered := s.required
+		if rule.Delivered != nil {
+			delivered = rule.Delivered(o.ctx, b, s.required, alt, inProps)
+		}
+		if !delivered.Covers(s.required) {
+			// The paper's consistency check: the physical properties
+			// of a chosen plan really must satisfy the goal's vector.
+			o.stats.ConsistencyViolations++
+			o.trace("consistency violation: rule %s delivered %s for required %s",
+				rule.Name, delivered, s.required)
+			continue
+		}
+		if s.excluded != nil && delivered.Covers(s.excluded) {
+			// The provision that algorithms do not qualify
+			// redundantly: a plan that satisfies the excluded
+			// properties by itself must not feed the enforcer that
+			// establishes them (merge-join must not be considered as
+			// input to the sort). Algorithms that merely pass the
+			// requirement through, such as filter, are unaffected —
+			// their delivered vector reflects their actual input.
+			o.stats.Pruned++
+			continue
+		}
+		o.offer(s, &Plan{
+			Op:        rule.Build(o.ctx, b, s.required, alt),
+			Inputs:    inPlans,
+			Delivered: delivered,
+			Cost:      total,
+			LocalCost: local,
+			Group:     g.id,
+			LogProps:  g.logProps,
+		})
+	}
+}
+
+// pursueEnforcer explores one enforcer move: relax the required vector,
+// optimize the same class for the relaxed vector — excluding algorithms
+// that already qualified for the original requirement — and stack the
+// enforcer on top. The enforcer's cost is subtracted from the bound
+// before the input is optimized, so pruning reaches into enforcer inputs.
+func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
+	relaxed, excl, ok := enf.Relax(o.ctx, g.logProps, s.required)
+	if !ok {
+		return
+	}
+	o.stats.EnforcerMoves++
+	local := enf.Cost(o.ctx, g.logProps, s.required)
+	total := local
+	if o.prune(s, total) {
+		return
+	}
+	in, tr := o.findBestPlan(g.id, relaxed, excl, o.childLimit(s, total))
+	if in == nil {
+		s.transient = s.transient || tr
+		return
+	}
+	total = total.Add(in.Cost)
+	if o.prune(s, total) {
+		return
+	}
+	delivered := s.required
+	if enf.Delivered != nil {
+		delivered = enf.Delivered(o.ctx, s.required, in.Delivered)
+	}
+	if !delivered.Covers(s.required) {
+		o.stats.ConsistencyViolations++
+		o.trace("consistency violation: enforcer %s delivered %s for required %s",
+			enf.Name, delivered, s.required)
+		return
+	}
+	if s.excluded != nil && delivered.Covers(s.excluded) {
+		o.stats.Pruned++
+		return
+	}
+	o.offer(s, &Plan{
+		Op:        enf.Build(o.ctx, g.logProps, s.required),
+		Inputs:    []*Plan{in},
+		Delivered: delivered,
+		Cost:      total,
+		LocalCost: local,
+		Group:     g.id,
+		LogProps:  g.logProps,
+	})
+}
+
+// glueOptimize is the Starburst-style strategy used for ablation:
+// optimize the class with no property requirement, then glue enforcers
+// onto the winning plan to meet the real requirement, adding their cost
+// to the plan after the fact instead of letting properties direct the
+// search.
+func (o *Optimizer) glueOptimize(root GroupID, required PhysProps, limit Cost) *Plan {
+	p, _ := o.findBestPlan(root, o.model.AnyProps(), nil, limit)
+	if p == nil {
+		return nil
+	}
+	wrapped, ok := o.wrapWithEnforcers(p, required, 0)
+	if !ok {
+		return nil
+	}
+	if !costLE(wrapped.Cost, limit) {
+		return nil
+	}
+	return wrapped
+}
+
+// wrapWithEnforcers stacks enforcers on a finished plan until it covers
+// required. Depth is bounded: each enforcer establishes at least one
+// property, and property vectors are finite.
+func (o *Optimizer) wrapWithEnforcers(p *Plan, required PhysProps, depth int) (*Plan, bool) {
+	if p.Delivered.Covers(required) {
+		return p, true
+	}
+	const maxEnforcerStack = 4
+	if depth >= maxEnforcerStack {
+		return nil, false
+	}
+	lp := p.LogProps
+	for _, enf := range o.model.Enforcers() {
+		relaxed, _, ok := enf.Relax(o.ctx, lp, required)
+		if !ok {
+			continue
+		}
+		in, ok := o.wrapWithEnforcers(p, relaxed, depth+1)
+		if !ok {
+			continue
+		}
+		delivered := required
+		if enf.Delivered != nil {
+			delivered = enf.Delivered(o.ctx, required, in.Delivered)
+		}
+		if !delivered.Covers(required) {
+			continue
+		}
+		local := enf.Cost(o.ctx, lp, required)
+		return &Plan{
+			Op:        enf.Build(o.ctx, lp, required),
+			Inputs:    []*Plan{in},
+			Delivered: delivered,
+			Cost:      in.Cost.Add(local),
+			LocalCost: local,
+			Group:     p.Group,
+			LogProps:  lp,
+		}, true
+	}
+	return nil, false
+}

@@ -1,0 +1,207 @@
+// Package datagen generates the synthetic catalogs, queries, and table
+// contents used by the experiments: the paper's setup of relations with
+// 1,200 to 7,200 records of 100 bytes, and random select-join queries
+// with 1 to 7 binary joins (2 to 8 input relations) and as many
+// selections as input relations.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// Source produces catalogs, queries, and data deterministically from a
+// seed, so experiments are reproducible.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New creates a Source with the given seed.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Columns given to every generated table. Each table carries a unique
+// key, two join columns of moderate duplication, and a selection column,
+// within the paper's 100-byte records.
+const (
+	colKey = "id" // distinct = rows
+	colJA  = "ja" // join column, distinct = rows/6
+	colJB  = "jb" // join column, distinct = rows/12
+	colSel = "v"  // selection column, domain [0,1000)
+)
+
+// TableRowBytes is the record width of generated tables, per the paper.
+const TableRowBytes = 100
+
+// MinRows and MaxRows bound generated table cardinalities, per the paper.
+const (
+	MinRows = 1200
+	MaxRows = 7200
+)
+
+// Catalog generates n tables named R1..Rn with cardinalities drawn
+// uniformly from {1200, 1800, ..., 7200} and 100-byte records.
+func (s *Source) Catalog(n int) *rel.Catalog {
+	cat := rel.NewCatalog()
+	for i := 1; i <= n; i++ {
+		rows := int64(MinRows + 600*s.rng.Intn((MaxRows-MinRows)/600+1))
+		s.addTable(cat, fmt.Sprintf("R%d", i), rows)
+	}
+	return cat
+}
+
+func (s *Source) addTable(cat *rel.Catalog, name string, rows int64) *rel.Table {
+	t := cat.AddTable(name, rows, TableRowBytes)
+	cat.AddColumn(t, colKey, rows, 1, rows)
+	cat.AddColumn(t, colJA, maxi(rows/6, 2), 1, maxi(rows/6, 2))
+	cat.AddColumn(t, colJB, maxi(rows/12, 2), 1, maxi(rows/12, 2))
+	cat.AddColumn(t, colSel, 1000, 0, 999)
+	return t
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Query is one generated select-join query.
+type Query struct {
+	// Root is the logical expression handed to the optimizer.
+	Root *core.ExprTree
+	// Tables are the referenced table names in join order.
+	Tables []string
+	// Joins are the equated column pairs.
+	Joins [][2]rel.ColID
+	// Selections are the per-relation filter predicates.
+	Selections []rel.Pred
+	// OrderBy is the user-requested output sort column (the physical
+	// property requested of the optimizer, as in an SQL ORDER BY).
+	OrderBy rel.ColID
+}
+
+// Shape selects the join-graph topology of generated queries.
+type Shape int
+
+// Query shapes.
+const (
+	// ShapeRandom connects each relation to a uniformly random earlier
+	// relation: a random spanning tree mixing chains and stars.
+	ShapeRandom Shape = iota
+	// ShapeChain joins the relations in a linear chain.
+	ShapeChain
+	// ShapeStar joins every relation to the first.
+	ShapeStar
+)
+
+// SelectJoinQuery generates a query over nRels distinct relations of the
+// catalog: nRels-1 equi-joins forming a connected acyclic join graph of
+// the given shape, plus one selection per input relation. The initial
+// expression tree is left-deep and join-order-valid; the optimizer
+// explores the rest of the space.
+func (s *Source) SelectJoinQuery(cat *rel.Catalog, nRels int, shape Shape) Query {
+	names := cat.Tables()
+	if nRels > len(names) {
+		panic(fmt.Sprintf("datagen: query wants %d relations, catalog has %d", nRels, len(names)))
+	}
+	// Choose nRels distinct tables.
+	perm := s.rng.Perm(len(names))[:nRels]
+	tables := make([]string, nRels)
+	for i, p := range perm {
+		tables[i] = names[p]
+	}
+
+	q := Query{Tables: tables}
+
+	// One selection per relation, sitting directly above its scan.
+	leaf := func(i int) *core.ExprTree {
+		t := cat.Table(tables[i])
+		selCol := cat.ColumnID(t.Name, colSel)
+		pred := rel.Pred{Col: selCol, Op: rel.CmpLT, Val: int64(100 + s.rng.Intn(900))}
+		q.Selections = append(q.Selections, pred)
+		return core.Node(&rel.Select{Pred: pred}, core.Node(&rel.Get{Tab: t}))
+	}
+
+	// Random join column on a table: one of the two join columns.
+	joinCol := func(name string) rel.ColID {
+		col := colJA
+		if s.rng.Intn(2) == 1 {
+			col = colJB
+		}
+		return cat.ColumnID(name, col)
+	}
+
+	tree := leaf(0)
+	joined := []int{0}
+	for i := 1; i < nRels; i++ {
+		// Pick the partner already in the tree, per the shape.
+		var partner int
+		switch shape {
+		case ShapeChain:
+			partner = i - 1
+		case ShapeStar:
+			partner = 0
+		default:
+			partner = joined[s.rng.Intn(len(joined))]
+		}
+		lc := joinCol(tables[partner])
+		rc := joinCol(tables[i])
+		q.Joins = append(q.Joins, [2]rel.ColID{lc, rc})
+		tree = core.Node(rel.NewJoin(lc, rc), tree, leaf(i))
+		joined = append(joined, i)
+	}
+	q.Root = tree
+	// The user asks for output ordered on one of the join columns —
+	// the physical property requested of the optimizer.
+	if len(q.Joins) > 0 {
+		e := q.Joins[s.rng.Intn(len(q.Joins))]
+		q.OrderBy = e[s.rng.Intn(2)]
+	} else {
+		q.OrderBy = cat.ColumnID(tables[0], colKey)
+	}
+	return q
+}
+
+// Rows generates table contents consistent with the catalog statistics:
+// key columns hold a permutation of 1..rows; other columns are uniform
+// over their declared domains. The result maps table name to rows of
+// values aligned with the table's column order.
+func (s *Source) Rows(cat *rel.Catalog) map[string][][]int64 {
+	out := make(map[string][][]int64)
+	for _, name := range cat.Tables() {
+		t := cat.Table(name)
+		rows := make([][]int64, t.Rows)
+		var keyPerm []int64
+		for i := range rows {
+			row := make([]int64, len(t.Columns))
+			for j, c := range t.Columns {
+				m := cat.Column(c)
+				if m.Name == colKey {
+					if keyPerm == nil {
+						keyPerm = permutation(s.rng, t.Rows)
+					}
+					row[j] = keyPerm[i]
+				} else {
+					row[j] = m.Min + s.rng.Int63n(m.Max-m.Min+1)
+				}
+			}
+			rows[i] = row
+		}
+		out[name] = rows
+	}
+	return out
+}
+
+func permutation(rng *rand.Rand, n int64) []int64 {
+	p := make([]int64, n)
+	for i := range p {
+		p[i] = int64(i) + 1
+	}
+	rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

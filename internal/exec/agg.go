@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// aggState accumulates one aggregate over a group.
+type aggState struct {
+	fn    rel.AggFn
+	pos   int // argument position; -1 for COUNT
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	any   bool
+}
+
+func newAggStates(aggs []rel.Agg, schema *Schema) []aggState {
+	out := make([]aggState, len(aggs))
+	for i, a := range aggs {
+		out[i] = aggState{fn: a.Fn, pos: -1}
+		if a.Fn != rel.AggCount {
+			out[i].pos = schema.Pos(a.Col)
+		}
+	}
+	return out
+}
+
+func (s *aggState) add(r Row) {
+	s.count++
+	if s.pos < 0 {
+		return
+	}
+	v := r[s.pos]
+	s.sum += v
+	if !s.any || v < s.min {
+		s.min = v
+	}
+	if !s.any || v > s.max {
+		s.max = v
+	}
+	s.any = true
+}
+
+func (s *aggState) value() int64 {
+	switch s.fn {
+	case rel.AggCount:
+		return s.count
+	case rel.AggSum:
+		return s.sum
+	case rel.AggMin:
+		return s.min
+	case rel.AggMax:
+		return s.max
+	}
+	return 0
+}
+
+// SortGroupBy groups a stream already sorted on the grouping columns,
+// emitting one row per group: group values followed by aggregate values.
+type SortGroupBy struct {
+	// In is the input stream, sorted on the grouping columns.
+	In Iterator
+
+	groupPos []int
+	aggs     []rel.Agg
+	schema   *Schema
+
+	cur    Row
+	states []aggState
+	done   bool
+}
+
+// NewSortGroupBy resolves grouping columns against the input schema.
+func NewSortGroupBy(in Iterator, schema *Schema, groupCols []rel.ColID, aggs []rel.Agg) *SortGroupBy {
+	g := &SortGroupBy{In: in, aggs: aggs, schema: schema}
+	for _, c := range groupCols {
+		g.groupPos = append(g.groupPos, schema.Pos(c))
+	}
+	return g
+}
+
+// Open opens the input.
+func (g *SortGroupBy) Open() error {
+	g.cur, g.states, g.done = nil, nil, false
+	return g.In.Open()
+}
+
+// Next returns the next completed group.
+func (g *SortGroupBy) Next() (Row, bool, error) {
+	if g.done {
+		return nil, false, nil
+	}
+	for {
+		row, ok, err := g.In.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			g.done = true
+			if g.cur == nil {
+				return nil, false, nil
+			}
+			return g.emit(), true, nil
+		}
+		if g.cur == nil {
+			g.start(row)
+			continue
+		}
+		same := true
+		for _, p := range g.groupPos {
+			if row[p] != g.cur[p] {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range g.states {
+				g.states[i].add(row)
+			}
+			continue
+		}
+		out := g.emit()
+		g.start(row)
+		return out, true, nil
+	}
+}
+
+func (g *SortGroupBy) start(row Row) {
+	g.cur = row
+	g.states = newAggStates(g.aggs, g.schema)
+	for i := range g.states {
+		g.states[i].add(row)
+	}
+}
+
+func (g *SortGroupBy) emit() Row {
+	out := make(Row, 0, len(g.groupPos)+len(g.states))
+	for _, p := range g.groupPos {
+		out = append(out, g.cur[p])
+	}
+	for i := range g.states {
+		out = append(out, g.states[i].value())
+	}
+	return out
+}
+
+// Close closes the input.
+func (g *SortGroupBy) Close() error { return g.In.Close() }
+
+// HashGroupBy groups an unordered stream via a hash table, emitting
+// groups in a deterministic (sorted) order once the input is drained.
+type HashGroupBy struct {
+	// In is the input stream.
+	In Iterator
+
+	groupPos []int
+	aggs     []rel.Agg
+	schema   *Schema
+
+	out  []Row
+	next int
+}
+
+// NewHashGroupBy resolves grouping columns against the input schema.
+func NewHashGroupBy(in Iterator, schema *Schema, groupCols []rel.ColID, aggs []rel.Agg) *HashGroupBy {
+	g := &HashGroupBy{In: in, aggs: aggs, schema: schema}
+	for _, c := range groupCols {
+		g.groupPos = append(g.groupPos, schema.Pos(c))
+	}
+	return g
+}
+
+// Open drains the input into the hash table and materializes the groups.
+func (g *HashGroupBy) Open() error {
+	if err := g.In.Open(); err != nil {
+		return err
+	}
+	type entry struct {
+		key    Row
+		states []aggState
+	}
+	table := make(map[string]*entry)
+	for {
+		row, ok, err := g.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key := make(Row, len(g.groupPos))
+		for i, p := range g.groupPos {
+			key[i] = row[p]
+		}
+		ks := rowKey(key)
+		e := table[ks]
+		if e == nil {
+			e = &entry{key: key, states: newAggStates(g.aggs, g.schema)}
+			table[ks] = e
+		}
+		for i := range e.states {
+			e.states[i].add(row)
+		}
+	}
+	g.out = g.out[:0]
+	for _, e := range table {
+		row := make(Row, 0, len(e.key)+len(e.states))
+		row = append(row, e.key...)
+		for i := range e.states {
+			row = append(row, e.states[i].value())
+		}
+		g.out = append(g.out, row)
+	}
+	order := make([]int, len(g.groupPos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(g.out, func(i, j int) bool { return cmpRows(g.out[i], g.out[j], order) < 0 })
+	g.next = 0
+	return nil
+}
+
+// Next returns the next group.
+func (g *HashGroupBy) Next() (Row, bool, error) {
+	if g.next >= len(g.out) {
+		return nil, false, nil
+	}
+	r := g.out[g.next]
+	g.next++
+	return r, true, nil
+}
+
+// Close releases the groups and closes the input.
+func (g *HashGroupBy) Close() error {
+	g.out = nil
+	return g.In.Close()
+}

@@ -1,0 +1,298 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// BuildPlan translates an optimizer plan into an iterator tree over the
+// database. Partitioned plans (delivered partitioning from the parallel
+// model) are instantiated once per partition and merged by a Gather
+// operator running the partitions in parallel goroutines.
+func BuildPlan(db *DB, plan *core.Plan) (Iterator, *Schema, error) {
+	return BuildPlanParams(db, plan, nil)
+}
+
+// BuildPlanParams is BuildPlan for incompletely specified queries:
+// params supplies the runtime values of parameterized predicates
+// (1-based indexes), and choose-plan nodes select their alternative
+// using the bound values before any iterator is constructed.
+func BuildPlanParams(db *DB, plan *core.Plan, params []int64) (Iterator, *Schema, error) {
+	b := &builder{db: db, exch: make(map[*core.Plan]exchEntry), params: params}
+	if part := deliveredPart(plan); part.Kind == relopt.PartHash {
+		parts := make([]Iterator, part.Degree)
+		var schema *Schema
+		for i := 0; i < part.Degree; i++ {
+			it, s, err := b.build(plan, i)
+			if err != nil {
+				return nil, nil, err
+			}
+			parts[i], schema = it, s
+		}
+		return NewGather(parts), schema, nil
+	}
+	return b.build(plan, -1)
+}
+
+// Run builds and drains a plan.
+func Run(db *DB, plan *core.Plan) ([]Row, *Schema, error) {
+	return RunParams(db, plan, nil)
+}
+
+// RunParams builds and drains a plan with bound parameters.
+func RunParams(db *DB, plan *core.Plan, params []int64) ([]Row, *Schema, error) {
+	it, schema, err := BuildPlanParams(db, plan, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := Collect(it)
+	return rows, schema, err
+}
+
+func deliveredPart(plan *core.Plan) relopt.Partitioning {
+	if pp, ok := plan.Delivered.(*relopt.PhysProps); ok {
+		return pp.Part
+	}
+	return relopt.Partitioning{}
+}
+
+type builder struct {
+	db *DB
+	// exch holds the shared streaming state of each exchange node,
+	// one producer per node regardless of how many partition
+	// instances consume it. The physical schema is cached with it: a
+	// commuted join's row layout can differ from the logical column
+	// order of its equivalence class.
+	exch map[*core.Plan]exchEntry
+	// params are the runtime values bound to parameterized predicates.
+	params []int64
+}
+
+type exchEntry struct {
+	state  *exchangeState
+	schema *Schema
+}
+
+// bind substitutes bound parameter values into predicates.
+func (b *builder) bind(preds []rel.Pred) ([]rel.Pred, error) {
+	out := append([]rel.Pred(nil), preds...)
+	for i, p := range out {
+		if !p.IsParam() {
+			continue
+		}
+		if p.Param > len(b.params) {
+			return nil, fmt.Errorf("exec: predicate %s needs parameter $%d, %d bound", p, p.Param, len(b.params))
+		}
+		out[i].Val = b.params[p.Param-1]
+		out[i].Param = 0
+	}
+	return out, nil
+}
+
+// schemaFor derives the output schema of a plan node from its logical
+// properties; group-by nodes append unnamed aggregate columns.
+func schemaFor(plan *core.Plan) *Schema {
+	props := plan.LogProps.(*rel.Props)
+	switch op := plan.Op.(type) {
+	case *relopt.SortGroupBy:
+		return groupSchema(props.Cols, len(op.Aggs))
+	case *relopt.HashGroupBy:
+		return groupSchema(props.Cols, len(op.Aggs))
+	}
+	return NewSchema(props.Cols)
+}
+
+func groupSchema(cols []rel.ColID, aggs int) *Schema {
+	all := append([]rel.ColID(nil), cols...)
+	for i := 0; i < aggs; i++ {
+		all = append(all, rel.InvalidCol)
+	}
+	return NewSchema(all)
+}
+
+// build constructs the iterator for one plan node. part is the partition
+// index being instantiated, or -1 for serial execution.
+func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
+	schema := schemaFor(plan)
+	switch op := plan.Op.(type) {
+	case *relopt.FileScan:
+		t := b.db.Table(op.Tab.Name)
+		if t == nil {
+			return nil, nil, fmt.Errorf("exec: table %q not loaded", op.Tab.Name)
+		}
+		return NewTableScan(t), t.Schema, nil
+
+	case *relopt.Filter:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds, err := b.bind(op.Preds)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewFilter(in, ins, preds), ins, nil
+
+	case *relopt.ProjectOp:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewProject(in, ins, op.Cols), schema, nil
+
+	case *relopt.Sort:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewSort(in, ins, op.Order), ins, nil
+
+	case *relopt.MergeJoin:
+		return b.buildJoin(plan, part, op.LeftCol, op.RightCol, op.Proj, true)
+
+	case *relopt.HashJoin:
+		return b.buildJoin(plan, part, op.LeftCol, op.RightCol, op.Proj, false)
+
+	case *relopt.NLJoin:
+		l, ls, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rs, err := b.build(plan.Inputs[1], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewNLJoin(l, r, ls, rs, ls.Pos(op.LeftCol), rs.Pos(op.RightCol)), joined(ls, rs), nil
+
+	case *relopt.MergeIntersect:
+		l, ls, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := b.build(plan.Inputs[1], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		order := make([]int, len(op.Order))
+		for i, oc := range op.Order {
+			order[i] = ls.Pos(oc.Col)
+		}
+		return NewMergeIntersect(l, r, order), ls, nil
+
+	case *relopt.MergeUnion:
+		l, ls, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := b.build(plan.Inputs[1], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		order := make([]int, len(op.Order))
+		for i, oc := range op.Order {
+			order[i] = ls.Pos(oc.Col)
+		}
+		return NewMergeUnion(l, r, order), ls, nil
+
+	case *relopt.HashUnion:
+		l, ls, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := b.build(plan.Inputs[1], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewHashUnion(l, r), ls, nil
+
+	case *relopt.HashIntersect:
+		l, ls, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, _, err := b.build(plan.Inputs[1], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewHashIntersect(l, r), ls, nil
+
+	case *relopt.SortGroupBy:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewSortGroupBy(in, ins, op.GroupCols, op.Aggs), schema, nil
+
+	case *relopt.HashGroupBy:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewHashGroupBy(in, ins, op.GroupCols, op.Aggs), schema, nil
+
+	case *relopt.ChoosePlan:
+		// Dynamic plan: pick the alternative for the bound parameter,
+		// then build only that subtree.
+		if op.Pred.Param > len(b.params) {
+			return nil, nil, fmt.Errorf("exec: choose-plan needs parameter $%d, %d bound", op.Pred.Param, len(b.params))
+		}
+		idx := op.ChooseAlternative(b.params[op.Pred.Param-1])
+		return b.build(plan.Inputs[idx], part)
+
+	case *relopt.Exchange:
+		if part < 0 {
+			return nil, nil, fmt.Errorf("exec: exchange outside a partitioned context")
+		}
+		e, ok := b.exch[plan]
+		if !ok {
+			// Build the serial input once; every partition instance
+			// shares the producer that drains it.
+			child, ins, err := b.build(plan.Inputs[0], -1)
+			if err != nil {
+				return nil, nil, err
+			}
+			e = exchEntry{
+				state: newExchangeState(op.Part.Degree, ins.Pos(op.Part.Col),
+					func() (Iterator, error) { return child, nil }),
+				schema: ins,
+			}
+			b.exch[plan] = e
+		}
+		return &exchangePort{st: e.state, part: part}, e.schema, nil
+	}
+	return nil, nil, fmt.Errorf("exec: no runtime for physical operator %T", plan.Op)
+}
+
+// buildJoin assembles merge- or hash-join with the optional fused
+// projection resolved to concatenated-row positions.
+func (b *builder) buildJoin(plan *core.Plan, part int, lcol, rcol rel.ColID, projCols []rel.ColID, merge bool) (Iterator, *Schema, error) {
+	l, ls, err := b.build(plan.Inputs[0], part)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, rs, err := b.build(plan.Inputs[1], part)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := joined(ls, rs)
+	var proj []int
+	if projCols != nil {
+		proj = make([]int, len(projCols))
+		for i, c := range projCols {
+			proj[i] = out.Pos(c)
+		}
+		out = NewSchema(projCols)
+	}
+	lp, rp := ls.Pos(lcol), rs.Pos(rcol)
+	if merge {
+		return NewMergeJoin(l, r, ls, rs, lp, rp, proj), out, nil
+	}
+	return NewHashJoin(l, r, ls, rs, lp, rp, proj), out, nil
+}
+
+func joined(l, r *Schema) *Schema {
+	return NewSchema(append(append([]rel.ColID(nil), l.Cols...), r.Cols...))
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// exchangeState is the shared runtime of one exchange operator: a
+// single producer goroutine drains the serial input once and routes
+// rows to per-partition channels — Volcano's exchange as a pipelined
+// inter-process (here inter-goroutine) boundary, rather than a
+// materialization.
+type exchangeState struct {
+	degree int
+	pos    int
+
+	start sync.Once
+	// child is built lazily by the producer, so the serial subtree is
+	// constructed exactly once no matter how many partition instances
+	// reference it.
+	child func() (Iterator, error)
+
+	outs []chan Row
+	done []chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// exchangeBuffer is each partition channel's capacity: the flow-control
+// window between producer and consumers.
+const exchangeBuffer = 256
+
+func newExchangeState(degree, pos int, child func() (Iterator, error)) *exchangeState {
+	st := &exchangeState{degree: degree, pos: pos, child: child}
+	st.outs = make([]chan Row, degree)
+	st.done = make([]chan struct{}, degree)
+	for i := range st.outs {
+		st.outs[i] = make(chan Row, exchangeBuffer)
+		st.done[i] = make(chan struct{})
+	}
+	return st
+}
+
+// run is the producer: it opens the serial input, hashes each row to
+// its partition, and pushes it unless that partition's consumer has
+// closed. Every partition channel is closed at the end (or on error).
+func (st *exchangeState) run() {
+	defer func() {
+		for _, out := range st.outs {
+			close(out)
+		}
+	}()
+	it, err := st.child()
+	if err != nil {
+		st.setErr(err)
+		return
+	}
+	if err := it.Open(); err != nil {
+		st.setErr(err)
+		return
+	}
+	defer it.Close()
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			st.setErr(err)
+			return
+		}
+		if !ok {
+			return
+		}
+		p := int(uint64(row[st.pos]) % uint64(st.degree))
+		select {
+		case st.outs[p] <- row:
+		case <-st.done[p]:
+			// The consumer abandoned this partition; drop its rows.
+		}
+	}
+}
+
+func (st *exchangeState) setErr(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+}
+
+func (st *exchangeState) getErr() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.err
+}
+
+// exchangePort is one partition's view of an exchange: an ordinary
+// iterator whose rows arrive from the shared producer.
+type exchangePort struct {
+	st    *exchangeState
+	part  int
+	close sync.Once
+}
+
+// Open starts the shared producer on first use.
+func (p *exchangePort) Open() error {
+	p.st.start.Do(func() { go p.st.run() })
+	return nil
+}
+
+// Next returns the next row routed to this partition.
+func (p *exchangePort) Next() (Row, bool, error) {
+	row, ok := <-p.st.outs[p.part]
+	if !ok {
+		if err := p.st.getErr(); err != nil {
+			return nil, false, fmt.Errorf("exec: exchange producer: %w", err)
+		}
+		return nil, false, nil
+	}
+	return row, true, nil
+}
+
+// Close releases this partition; the producer stops routing to it.
+func (p *exchangePort) Close() error {
+	p.close.Do(func() { close(p.st.done[p.part]) })
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package exec is a Volcano-style query execution engine: algorithms
+// consuming and producing streams of tuples through the iterator
+// interface (open/next/close), as in the Volcano query processor the
+// optimizer generator was built for. It executes the physical plans
+// produced by optimizers generated from the relational model
+// (internal/relopt), including the exchange operator for partitioned
+// parallelism.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rel"
+)
+
+// Row is one tuple: values aligned with a Schema's column list.
+type Row []int64
+
+// Clone copies a row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Schema maps the columns of a stream to row positions. Aggregate
+// outputs occupy positions with column ID 0 (they are not catalog
+// columns).
+type Schema struct {
+	// Cols lists the stream's columns in row order.
+	Cols []rel.ColID
+
+	pos map[rel.ColID]int
+}
+
+// NewSchema builds a schema over the given column list.
+func NewSchema(cols []rel.ColID) *Schema {
+	s := &Schema{Cols: cols, pos: make(map[rel.ColID]int, len(cols))}
+	for i, c := range cols {
+		if c != rel.InvalidCol {
+			s.pos[c] = i
+		}
+	}
+	return s
+}
+
+// Pos returns the row position of a column; it panics on unknown
+// columns, which indicates a planner bug.
+func (s *Schema) Pos(c rel.ColID) int {
+	p, ok := s.pos[c]
+	if !ok {
+		panic(fmt.Sprintf("exec: column c%d not in schema %v", c, s.Cols))
+	}
+	return p
+}
+
+// Has reports whether the schema contains the column.
+func (s *Schema) Has(c rel.ColID) bool {
+	_, ok := s.pos[c]
+	return ok
+}
+
+// Width returns the number of columns.
+func (s *Schema) Width() int { return len(s.Cols) }
+
+// Table is a stored relation.
+type Table struct {
+	// Name is the relation name.
+	Name string
+	// Schema is the table's column layout.
+	Schema *Schema
+	// Rows is the table's contents.
+	Rows []Row
+}
+
+// DB holds the stored relations of a database instance.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Add registers a table.
+func (db *DB) Add(t *Table) { db.tables[t.Name] = t }
+
+// Table returns the named table, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// FromData loads generated table contents (see datagen.Rows) into a
+// database whose layout follows the catalog.
+func FromData(cat *rel.Catalog, data map[string][][]int64) *DB {
+	db := NewDB()
+	for name, rows := range data {
+		t := cat.Table(name)
+		if t == nil {
+			panic(fmt.Sprintf("exec: data for unknown table %q", name))
+		}
+		tab := &Table{Name: name, Schema: NewSchema(t.Columns), Rows: make([]Row, len(rows))}
+		for i, r := range rows {
+			tab.Rows[i] = Row(r)
+		}
+		// Respect the catalog's clustered order: the optimizer relies
+		// on file scans delivering it.
+		if len(t.Ordered) > 0 {
+			pos := make([]int, len(t.Ordered))
+			for i, c := range t.Ordered {
+				pos[i] = tab.Schema.Pos(c)
+			}
+			sort.SliceStable(tab.Rows, func(i, j int) bool {
+				for _, p := range pos {
+					if tab.Rows[i][p] != tab.Rows[j][p] {
+						return tab.Rows[i][p] < tab.Rows[j][p]
+					}
+				}
+				return false
+			})
+		}
+		db.Add(tab)
+	}
+	return db
+}
+
+// Iterator is the Volcano iterator interface: every query processing
+// algorithm consumes zero or more input iterators and produces a stream
+// of rows.
+type Iterator interface {
+	// Open prepares the iterator for producing rows.
+	Open() error
+	// Next returns the next row; ok is false at end of stream.
+	Next() (row Row, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Collect drains an iterator into a slice, handling open and close.
+func Collect(it Iterator) ([]Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,334 @@
+package exec
+
+// MergeJoin joins two streams sorted ascending on the join columns,
+// buffering the groups of equal keys on both sides so duplicate keys
+// produce the full cross product.
+type MergeJoin struct {
+	// Left and Right are the sorted input streams.
+	Left, Right Iterator
+
+	lpos, rpos int
+	proj       []int // output positions into left++right; nil = all
+
+	lwidth int
+	lgroup []Row
+	rgroup []Row
+	li, ri int
+	lrow   Row
+	rrow   Row
+	ldone  bool
+	rdone  bool
+}
+
+// NewMergeJoin resolves join columns (and an optional fused projection)
+// against the input schemas. The projection positions index the
+// concatenated left++right row.
+func NewMergeJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int, proj []int) *MergeJoin {
+	return &MergeJoin{
+		Left: left, Right: right,
+		lpos: lcol, rpos: rcol,
+		proj:   proj,
+		lwidth: lschema.Width(),
+	}
+}
+
+// Open opens both inputs and primes the merge.
+func (m *MergeJoin) Open() error {
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	if err := m.Right.Open(); err != nil {
+		return err
+	}
+	m.lgroup, m.rgroup = nil, nil
+	m.li, m.ri = 0, 0
+	m.ldone, m.rdone = false, false
+	var err error
+	m.lrow, err = m.advanceLeft()
+	if err != nil {
+		return err
+	}
+	m.rrow, err = m.advanceRight()
+	return err
+}
+
+func (m *MergeJoin) advanceLeft() (Row, error) {
+	row, ok, err := m.Left.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		m.ldone = true
+		return nil, nil
+	}
+	return row, nil
+}
+
+func (m *MergeJoin) advanceRight() (Row, error) {
+	row, ok, err := m.Right.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		m.rdone = true
+		return nil, nil
+	}
+	return row, nil
+}
+
+// Next returns the next joined row.
+func (m *MergeJoin) Next() (Row, bool, error) {
+	for {
+		// Emit from buffered groups first.
+		if m.li < len(m.lgroup) {
+			out := m.combine(m.lgroup[m.li], m.rgroup[m.ri])
+			m.ri++
+			if m.ri == len(m.rgroup) {
+				m.ri = 0
+				m.li++
+			}
+			return out, true, nil
+		}
+		m.lgroup, m.rgroup = m.lgroup[:0], m.rgroup[:0]
+		m.li, m.ri = 0, 0
+
+		// Align the inputs on the next matching key.
+		for {
+			if m.ldone || m.rdone {
+				return nil, false, nil
+			}
+			lk, rk := m.lrow[m.lpos], m.rrow[m.rpos]
+			if lk < rk {
+				var err error
+				if m.lrow, err = m.advanceLeft(); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			if lk > rk {
+				var err error
+				if m.rrow, err = m.advanceRight(); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
+			// Buffer both equal-key groups.
+			key := lk
+			for !m.ldone && m.lrow[m.lpos] == key {
+				m.lgroup = append(m.lgroup, m.lrow)
+				var err error
+				if m.lrow, err = m.advanceLeft(); err != nil {
+					return nil, false, err
+				}
+			}
+			for !m.rdone && m.rrow[m.rpos] == key {
+				m.rgroup = append(m.rgroup, m.rrow)
+				var err error
+				if m.rrow, err = m.advanceRight(); err != nil {
+					return nil, false, err
+				}
+			}
+			break
+		}
+	}
+}
+
+func (m *MergeJoin) combine(l, r Row) Row {
+	out := make(Row, 0, m.lwidth+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	if m.proj != nil {
+		proj := make(Row, len(m.proj))
+		for i, p := range m.proj {
+			proj[i] = out[p]
+		}
+		return proj
+	}
+	return out
+}
+
+// Close closes both inputs.
+func (m *MergeJoin) Close() error {
+	err := m.Left.Close()
+	if err2 := m.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// HashJoin is hybrid hash join without partition files: the left input
+// builds an in-memory table, the right input probes.
+type HashJoin struct {
+	// Left and Right are the input streams; Left builds.
+	Left, Right Iterator
+
+	lpos, rpos int
+	proj       []int
+	lwidth     int
+
+	table map[int64][]Row
+	probe Row
+	hits  []Row
+	hit   int
+}
+
+// NewHashJoin resolves join columns (and an optional fused projection)
+// against the input schemas.
+func NewHashJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int, proj []int) *HashJoin {
+	return &HashJoin{
+		Left: left, Right: right,
+		lpos: lcol, rpos: rcol,
+		proj:   proj,
+		lwidth: lschema.Width(),
+	}
+}
+
+// Open builds the hash table from the left input.
+func (h *HashJoin) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[int64][]Row)
+	h.probe, h.hits, h.hit = nil, nil, 0
+	for {
+		row, ok, err := h.Left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := row[h.lpos]
+		h.table[k] = append(h.table[k], row)
+	}
+	return nil
+}
+
+// Next returns the next joined row.
+func (h *HashJoin) Next() (Row, bool, error) {
+	for {
+		if h.hit < len(h.hits) {
+			l := h.hits[h.hit]
+			h.hit++
+			return h.combine(l, h.probe), true, nil
+		}
+		row, ok, err := h.Right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h.probe = row
+		h.hits = h.table[row[h.rpos]]
+		h.hit = 0
+	}
+}
+
+func (h *HashJoin) combine(l, r Row) Row {
+	out := make(Row, 0, h.lwidth+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	if h.proj != nil {
+		proj := make(Row, len(h.proj))
+		for i, p := range h.proj {
+			proj[i] = out[p]
+		}
+		return proj
+	}
+	return out
+}
+
+// Close releases the hash table and closes both inputs.
+func (h *HashJoin) Close() error {
+	h.table = nil
+	err := h.Left.Close()
+	if err2 := h.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// NLJoin is block nested-loops join on an equality predicate; it
+// materializes the right input and scans it per left row.
+type NLJoin struct {
+	// Left and Right are the input streams.
+	Left, Right Iterator
+
+	lpos, rpos int
+	lwidth     int
+
+	inner []Row
+	lrow  Row
+	ri    int
+	ldone bool
+}
+
+// NewNLJoin resolves join columns against the input schemas.
+func NewNLJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int) *NLJoin {
+	return &NLJoin{Left: left, Right: right, lpos: lcol, rpos: rcol, lwidth: lschema.Width()}
+}
+
+// Open materializes the inner (right) input.
+func (n *NLJoin) Open() error {
+	if err := n.Left.Open(); err != nil {
+		return err
+	}
+	if err := n.Right.Open(); err != nil {
+		return err
+	}
+	n.inner = n.inner[:0]
+	n.lrow, n.ri, n.ldone = nil, 0, false
+	for {
+		row, ok, err := n.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n.inner = append(n.inner, row)
+	}
+	return nil
+}
+
+// Next returns the next joined row.
+func (n *NLJoin) Next() (Row, bool, error) {
+	for {
+		if n.lrow == nil {
+			if n.ldone {
+				return nil, false, nil
+			}
+			row, ok, err := n.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				n.ldone = true
+				return nil, false, nil
+			}
+			n.lrow, n.ri = row, 0
+		}
+		for n.ri < len(n.inner) {
+			r := n.inner[n.ri]
+			n.ri++
+			if n.lrow[n.lpos] == r[n.rpos] {
+				out := make(Row, 0, n.lwidth+len(r))
+				out = append(out, n.lrow...)
+				out = append(out, r...)
+				return out, true, nil
+			}
+		}
+		n.lrow = nil
+	}
+}
+
+// Close releases the inner buffer and closes both inputs.
+func (n *NLJoin) Close() error {
+	n.inner = nil
+	err := n.Left.Close()
+	if err2 := n.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

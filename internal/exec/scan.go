@@ -1,0 +1,136 @@
+package exec
+
+import "repro/internal/rel"
+
+// TableScan reads a stored relation front to back (filescan).
+type TableScan struct {
+	// Tab is the relation scanned.
+	Tab *Table
+
+	next int
+}
+
+// NewTableScan creates a scan over a table.
+func NewTableScan(t *Table) *TableScan { return &TableScan{Tab: t} }
+
+// Open resets the scan to the first row.
+func (s *TableScan) Open() error {
+	s.next = 0
+	return nil
+}
+
+// Next returns the next stored row.
+func (s *TableScan) Next() (Row, bool, error) {
+	if s.next >= len(s.Tab.Rows) {
+		return nil, false, nil
+	}
+	r := s.Tab.Rows[s.next]
+	s.next++
+	return r, true, nil
+}
+
+// Close is a no-op for scans.
+func (s *TableScan) Close() error { return nil }
+
+// compiledPred is a predicate with schema positions resolved.
+type compiledPred struct {
+	op       rel.CmpOp
+	pos      int
+	otherPos int // -1 for constant comparisons
+	val      int64
+}
+
+func compilePred(p rel.Pred, s *Schema) compiledPred {
+	c := compiledPred{op: p.Op, pos: s.Pos(p.Col), otherPos: -1, val: p.Val}
+	if p.IsColCol() {
+		c.otherPos = s.Pos(p.OtherCol)
+	}
+	return c
+}
+
+func (c compiledPred) eval(r Row) bool {
+	rhs := c.val
+	if c.otherPos >= 0 {
+		rhs = r[c.otherPos]
+	}
+	return c.op.Eval(r[c.pos], rhs)
+}
+
+// Filter drops rows failing any conjunct (the filter algorithm).
+type Filter struct {
+	// In is the input stream.
+	In Iterator
+
+	preds []compiledPred
+}
+
+// NewFilter compiles the conjuncts against the input schema.
+func NewFilter(in Iterator, schema *Schema, preds []rel.Pred) *Filter {
+	f := &Filter{In: in}
+	for _, p := range preds {
+		f.preds = append(f.preds, compilePred(p, schema))
+	}
+	return f
+}
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next returns the next row satisfying every conjunct.
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass := true
+		for _, p := range f.preds {
+			if !p.eval(row) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project narrows rows to a column subset.
+type Project struct {
+	// In is the input stream.
+	In Iterator
+
+	idx []int
+}
+
+// NewProject resolves the output columns against the input schema.
+func NewProject(in Iterator, schema *Schema, cols []rel.ColID) *Project {
+	p := &Project{In: in, idx: make([]int, len(cols))}
+	for i, c := range cols {
+		p.idx[i] = schema.Pos(c)
+	}
+	return p
+}
+
+// Open opens the input.
+func (p *Project) Open() error { return p.In.Open() }
+
+// Next returns the next projected row.
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.idx))
+	for i, j := range p.idx {
+		out[i] = row[j]
+	}
+	return out, true, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.In.Close() }

@@ -1,0 +1,401 @@
+package exec
+
+import "fmt"
+
+// MergeIntersect computes set intersection of two streams sorted
+// identically on every column. Output rows are deduplicated, following
+// set semantics.
+type MergeIntersect struct {
+	// Left and Right are the sorted input streams.
+	Left, Right Iterator
+
+	order []int // comparison positions, the shared sort order
+
+	lrow, rrow   Row
+	ldone, rdone bool
+	last         Row
+}
+
+// NewMergeIntersect takes the shared sort order as row positions.
+func NewMergeIntersect(left, right Iterator, order []int) *MergeIntersect {
+	return &MergeIntersect{Left: left, Right: right, order: order}
+}
+
+// Open opens and primes both inputs.
+func (m *MergeIntersect) Open() error {
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	if err := m.Right.Open(); err != nil {
+		return err
+	}
+	m.lrow, m.rrow, m.last = nil, nil, nil
+	m.ldone, m.rdone = false, false
+	var err error
+	if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+		return err
+	}
+	m.rrow, err = next(m.Right, &m.rdone)
+	return err
+}
+
+func next(it Iterator, done *bool) (Row, error) {
+	row, ok, err := it.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		*done = true
+		return nil, nil
+	}
+	return row, nil
+}
+
+// cmpRows compares two rows on the given positions.
+func cmpRows(a, b Row, order []int) int {
+	for _, p := range order {
+		switch {
+		case a[p] < b[p]:
+			return -1
+		case a[p] > b[p]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Next returns the next row present in both inputs.
+func (m *MergeIntersect) Next() (Row, bool, error) {
+	for !m.ldone && !m.rdone {
+		switch cmpRows(m.lrow, m.rrow, m.order) {
+		case -1:
+			var err error
+			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+				return nil, false, err
+			}
+		case 1:
+			var err error
+			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+				return nil, false, err
+			}
+		default:
+			out := m.lrow
+			var err error
+			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+				return nil, false, err
+			}
+			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+				return nil, false, err
+			}
+			if m.last != nil && cmpRows(out, m.last, m.order) == 0 {
+				continue // set semantics: suppress duplicates
+			}
+			m.last = out
+			return out, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Close closes both inputs.
+func (m *MergeIntersect) Close() error {
+	err := m.Left.Close()
+	if err2 := m.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// HashIntersect computes set intersection by building a hash set over
+// the left input and probing with the right.
+type HashIntersect struct {
+	// Left and Right are the input streams.
+	Left, Right Iterator
+
+	set map[string]Row
+}
+
+// NewHashIntersect creates the operator.
+func NewHashIntersect(left, right Iterator) *HashIntersect {
+	return &HashIntersect{Left: left, Right: right}
+}
+
+// Open builds the set from the left input.
+func (h *HashIntersect) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	h.set = make(map[string]Row)
+	for {
+		row, ok, err := h.Left.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		h.set[rowKey(row)] = row
+	}
+}
+
+// rowKey serializes a whole row as a set-membership key.
+func rowKey(r Row) string {
+	b := make([]byte, 0, len(r)*9)
+	for _, v := range r {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+			byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56), ';')
+	}
+	return string(b)
+}
+
+// Next returns the next distinct row found in both inputs.
+func (h *HashIntersect) Next() (Row, bool, error) {
+	for {
+		row, ok, err := h.Right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := rowKey(row)
+		if _, hit := h.set[k]; hit {
+			delete(h.set, k) // emit each set element once
+			return row, true, nil
+		}
+	}
+}
+
+// Close releases the set and closes both inputs.
+func (h *HashIntersect) Close() error {
+	h.set = nil
+	err := h.Left.Close()
+	if err2 := h.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Gather merges the partition streams of a parallel plan into one
+// serial stream, draining each partition's iterator in its own
+// goroutine — the "merge" role of Volcano's exchange operator.
+type Gather struct {
+	// Parts are the per-partition streams.
+	Parts []Iterator
+
+	rows chan gatherMsg
+	stop chan struct{}
+	open bool
+}
+
+type gatherMsg struct {
+	row Row
+	err error
+}
+
+// NewGather creates the operator.
+func NewGather(parts []Iterator) *Gather { return &Gather{Parts: parts} }
+
+// Open starts one producer goroutine per partition.
+func (g *Gather) Open() error {
+	g.rows = make(chan gatherMsg, 64)
+	g.stop = make(chan struct{})
+	g.open = true
+	done := make(chan struct{}, len(g.Parts))
+	for _, p := range g.Parts {
+		go func(it Iterator) {
+			defer func() { done <- struct{}{} }()
+			if err := it.Open(); err != nil {
+				select {
+				case g.rows <- gatherMsg{err: err}:
+				case <-g.stop:
+				}
+				return
+			}
+			defer it.Close()
+			for {
+				row, ok, err := it.Next()
+				if err != nil {
+					select {
+					case g.rows <- gatherMsg{err: err}:
+					case <-g.stop:
+					}
+					return
+				}
+				if !ok {
+					return
+				}
+				select {
+				case g.rows <- gatherMsg{row: row}:
+				case <-g.stop:
+					return
+				}
+			}
+		}(p)
+	}
+	go func() {
+		for range g.Parts {
+			<-done
+		}
+		close(g.rows)
+	}()
+	return nil
+}
+
+// Next returns the next row from any partition.
+func (g *Gather) Next() (Row, bool, error) {
+	msg, ok := <-g.rows
+	if !ok {
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		return nil, false, fmt.Errorf("exec: partition failed: %w", msg.err)
+	}
+	return msg.row, true, nil
+}
+
+// Close stops the producers.
+func (g *Gather) Close() error {
+	if g.open {
+		close(g.stop)
+		g.open = false
+	}
+	return nil
+}
+
+// MergeUnion computes set union of two streams sorted identically on
+// every column, preserving the shared order and suppressing duplicates.
+type MergeUnion struct {
+	// Left and Right are the sorted input streams.
+	Left, Right Iterator
+
+	order []int
+
+	lrow, rrow   Row
+	ldone, rdone bool
+	last         Row
+}
+
+// NewMergeUnion takes the shared sort order as row positions.
+func NewMergeUnion(left, right Iterator, order []int) *MergeUnion {
+	return &MergeUnion{Left: left, Right: right, order: order}
+}
+
+// Open opens and primes both inputs.
+func (m *MergeUnion) Open() error {
+	if err := m.Left.Open(); err != nil {
+		return err
+	}
+	if err := m.Right.Open(); err != nil {
+		return err
+	}
+	m.lrow, m.rrow, m.last = nil, nil, nil
+	m.ldone, m.rdone = false, false
+	var err error
+	if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+		return err
+	}
+	m.rrow, err = next(m.Right, &m.rdone)
+	return err
+}
+
+// Next returns the next distinct row from either input, in order.
+func (m *MergeUnion) Next() (Row, bool, error) {
+	for {
+		var out Row
+		switch {
+		case m.ldone && m.rdone:
+			return nil, false, nil
+		case m.rdone || (!m.ldone && cmpRows(m.lrow, m.rrow, m.order) <= 0):
+			out = m.lrow
+			var err error
+			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+				return nil, false, err
+			}
+		default:
+			out = m.rrow
+			var err error
+			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+				return nil, false, err
+			}
+		}
+		if m.last != nil && cmpRows(out, m.last, m.order) == 0 {
+			continue // set semantics: suppress duplicates
+		}
+		m.last = out
+		return out, true, nil
+	}
+}
+
+// Close closes both inputs.
+func (m *MergeUnion) Close() error {
+	err := m.Left.Close()
+	if err2 := m.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// HashUnion computes set union via a hash set over both inputs.
+type HashUnion struct {
+	// Left and Right are the input streams.
+	Left, Right Iterator
+
+	seen    map[string]bool
+	onRight bool
+}
+
+// NewHashUnion creates the operator.
+func NewHashUnion(left, right Iterator) *HashUnion {
+	return &HashUnion{Left: left, Right: right}
+}
+
+// Open opens both inputs.
+func (h *HashUnion) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	h.seen = make(map[string]bool)
+	h.onRight = false
+	return nil
+}
+
+// Next returns the next row not seen before, draining left then right.
+func (h *HashUnion) Next() (Row, bool, error) {
+	for {
+		src := h.Left
+		if h.onRight {
+			src = h.Right
+		}
+		row, ok, err := src.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if h.onRight {
+				return nil, false, nil
+			}
+			h.onRight = true
+			continue
+		}
+		k := rowKey(row)
+		if h.seen[k] {
+			continue
+		}
+		h.seen[k] = true
+		return row, true, nil
+	}
+}
+
+// Close releases the set and closes both inputs.
+func (h *HashUnion) Close() error {
+	h.seen = nil
+	err := h.Left.Close()
+	if err2 := h.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

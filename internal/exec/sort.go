@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/relopt"
+)
+
+// Sort is the sort enforcer's runtime: an external sort with a
+// single-level merge, exactly the structure the optimizer prices —
+// bounded-memory runs are formed and sorted one at a time, then merged
+// in one pass.
+type Sort struct {
+	// In is the input stream.
+	In Iterator
+	// RunRows bounds the rows per run (the sort's work space); zero
+	// means DefaultSortRunRows.
+	RunRows int
+
+	keys  []sortKey
+	runs  [][]Row
+	heads []int
+}
+
+// DefaultSortRunRows is the default run size of the external sort.
+const DefaultSortRunRows = 4096
+
+type sortKey struct {
+	pos  int
+	desc bool
+}
+
+// NewSort resolves the sort order against the input schema.
+func NewSort(in Iterator, schema *Schema, order []relopt.OrderCol) *Sort {
+	s := &Sort{In: in}
+	for _, oc := range order {
+		s.keys = append(s.keys, sortKey{pos: schema.Pos(oc.Col), desc: oc.Desc})
+	}
+	return s
+}
+
+// less compares rows on the sort keys.
+func (s *Sort) less(a, b Row) bool {
+	for _, k := range s.keys {
+		av, bv := a[k.pos], b[k.pos]
+		if av == bv {
+			continue
+		}
+		if k.desc {
+			return av > bv
+		}
+		return av < bv
+	}
+	return false
+}
+
+// Open forms the sorted runs.
+func (s *Sort) Open() error {
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	limit := s.RunRows
+	if limit <= 0 {
+		limit = DefaultSortRunRows
+	}
+	s.runs = s.runs[:0]
+	run := make([]Row, 0, limit)
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		sort.SliceStable(run, func(i, j int) bool { return s.less(run[i], run[j]) })
+		s.runs = append(s.runs, run)
+		run = make([]Row, 0, limit)
+	}
+	for {
+		row, ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		run = append(run, row)
+		if len(run) == limit {
+			flush()
+		}
+	}
+	flush()
+	s.heads = make([]int, len(s.runs))
+	return nil
+}
+
+// Next merges the runs in a single level.
+func (s *Sort) Next() (Row, bool, error) {
+	best := -1
+	for i, run := range s.runs {
+		if s.heads[i] >= len(run) {
+			continue
+		}
+		if best < 0 || s.less(run[s.heads[i]], s.runs[best][s.heads[best]]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	r := s.runs[best][s.heads[best]]
+	s.heads[best]++
+	return r, true, nil
+}
+
+// Close releases the runs and closes the input.
+func (s *Sort) Close() error {
+	s.runs = nil
+	s.heads = nil
+	return s.In.Close()
+}

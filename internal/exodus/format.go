@@ -1,0 +1,52 @@
+package exodus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the MESH version as an indented plan tree with the
+// algorithm choices and subtree costs, for comparison against Volcano
+// plan output.
+func (n *Node) Format() string {
+	var b strings.Builder
+	n.format(&b, 0)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	fmt.Fprintf(b, "%s  [%s]  (cost=%s", n.Alg, n.Expr.op, n.Cost)
+	if n.SortedOn != 0 {
+		fmt.Fprintf(b, ", sorted=c%d", n.SortedOn)
+	}
+	b.WriteString(")\n")
+	for _, in := range n.Inputs {
+		in.format(b, depth+1)
+	}
+}
+
+// ClassSize returns the number of live equivalent logical expressions
+// in the node's class — for the root, the closure of the transformation
+// rules, comparable against the Volcano memo's root class.
+func (n *Node) ClassSize() int {
+	live := 0
+	for _, m := range n.Expr.cls.find().members {
+		if !m.dead {
+			live++
+		}
+	}
+	return live
+}
+
+// Algorithms returns the multiset of algorithm names in the version
+// tree, for tests and reporting.
+func (n *Node) Algorithms() []string {
+	out := []string{n.Alg}
+	for _, in := range n.Inputs {
+		out = append(out, in.Algorithms()...)
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package exodus
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func TestProbeNodeCounts(t *testing.T) {
+	s := datagen.New(12)
+	cat := s.Catalog(8)
+	for n := 2; n <= 8; n++ {
+		q := s.SelectJoinQuery(cat, n, datagen.ShapeRandom)
+		opt := New(cat, Config{})
+		_, cost, err := opt.Optimize(q.Root, 0)
+		st := opt.Stats()
+		t.Logf("n=%d err=%v nodes=%d eq=%d transforms=%d reanalyses=%d cost=%.1f",
+			n, err, st.Nodes, st.EqClasses, st.Transforms, st.Reanalyses, cost.Total())
+	}
+}

@@ -1,0 +1,180 @@
+package exodus
+
+import (
+	"container/heap"
+
+	"repro/internal/rel"
+)
+
+// The baseline's transformation rules mirror the Volcano configuration:
+// join commutativity, join associativity, selection pushdown, and
+// selection commutation. Each rule carries the "expected cost
+// improvement factor" of the EXODUS design; the promise of a queued
+// application is factor × current cost of the matched expression, so
+// expensive top-of-tree expressions are transformed first — the ordering
+// the Volcano paper identifies as "worst of all for optimizer
+// performance".
+const (
+	ruleJoinCommute = iota
+	ruleJoinAssoc
+	ruleSelectPushdown
+	ruleSelectCommute
+	numRules
+)
+
+var ruleFactor = [numRules]float64{
+	ruleJoinCommute:    1.0,
+	ruleJoinAssoc:      1.05,
+	ruleSelectPushdown: 1.1,
+	ruleSelectCommute:  1.0,
+}
+
+// enqueueMatches queues every rule whose top operator matches the new
+// expression. Deeper pattern levels are matched against class members at
+// application time.
+func (o *Optimizer) enqueueMatches(e *exprNode) {
+	switch e.op.(type) {
+	case *rel.Join:
+		o.enqueue(ruleJoinCommute, e)
+		o.enqueue(ruleJoinAssoc, e)
+	case *rel.Select:
+		o.enqueue(ruleSelectPushdown, e)
+		o.enqueue(ruleSelectCommute, e)
+	}
+}
+
+// requeueMatches clears the seen-marks for an expression so its rules
+// rematch after an input class gained members.
+func (o *Optimizer) requeueMatches(e *exprNode) {
+	for r := 0; r < numRules; r++ {
+		delete(o.seen, [2]int{r, e.id})
+	}
+	o.enqueueMatches(e)
+}
+
+func (o *Optimizer) enqueue(rule int, e *exprNode) {
+	k := [2]int{rule, e.id}
+	if o.seen[k] {
+		return
+	}
+	o.seen[k] = true
+	promise := ruleFactor[rule]
+	if e.cur != nil {
+		promise *= e.cur.Cost.Total()
+	}
+	heap.Push(&o.open, pending{rule: rule, expr: e, promise: promise})
+}
+
+// membersOfKind snapshots the live members of a class rooted at the
+// given operator kind, for binding the inner level of two-level
+// patterns.
+func membersOfKind[T any](c *eqClass) []*exprNode {
+	var out []*exprNode
+	for _, m := range c.find().members {
+		if m.dead {
+			continue
+		}
+		if _, ok := m.op.(T); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// applyTransform pops one queued application and rewrites the
+// expression, creating new expressions (with immediate algorithm
+// selection and cost analysis) equivalent to the matched one. Each
+// (rule, expression, inner member) combination is rewritten once, as in
+// EXODUS's per-expression transformation queue; re-queued applications
+// only process members that arrived since.
+func (o *Optimizer) applyTransform(mv pending) {
+	e := mv.expr
+	if e.dead {
+		return
+	}
+	o.stats.Transforms++
+	fresh := func(inner *exprNode) bool {
+		k := [3]int{mv.rule, e.id, inner.id}
+		if o.done[k] {
+			return false
+		}
+		o.done[k] = true
+		return true
+	}
+	switch mv.rule {
+	case ruleJoinCommute:
+		o.exprFor(e.op, []*eqClass{e.input(1), e.input(0)}, e.cls.find())
+
+	case ruleJoinAssoc:
+		top := e.op.(*rel.Join)
+		c := e.input(1)
+		for _, inner := range membersOfKind[*rel.Join](e.input(0)) {
+			if !fresh(inner) {
+				continue
+			}
+			a, b := inner.input(0), inner.input(1)
+			bp, cp := b.props, c.props
+			if !(bp.HasCol(top.A) || cp.HasCol(top.A)) ||
+				!(bp.HasCol(top.B) || cp.HasCol(top.B)) {
+				continue
+			}
+			bc := o.exprFor(top, []*eqClass{b, c}, nil)
+			if bc == nil {
+				return
+			}
+			o.exprFor(inner.op, []*eqClass{a, bc.cls.find()}, e.cls.find())
+			if o.err != nil {
+				return
+			}
+		}
+
+	case ruleSelectPushdown:
+		sel := e.op.(*rel.Select)
+		cols := []rel.ColID{sel.Pred.Col}
+		if sel.Pred.IsColCol() {
+			cols = append(cols, sel.Pred.OtherCol)
+		}
+		for _, join := range membersOfKind[*rel.Join](e.input(0)) {
+			if !fresh(join) {
+				continue
+			}
+			l, r := join.input(0), join.input(1)
+			if l.props.HasCols(cols) {
+				nl := o.exprFor(sel, []*eqClass{l}, nil)
+				if nl == nil {
+					return
+				}
+				o.exprFor(join.op, []*eqClass{nl.cls.find(), r}, e.cls.find())
+			}
+			if o.err != nil {
+				return
+			}
+			if r.props.HasCols(cols) {
+				nr := o.exprFor(sel, []*eqClass{r}, nil)
+				if nr == nil {
+					return
+				}
+				o.exprFor(join.op, []*eqClass{l, nr.cls.find()}, e.cls.find())
+			}
+			if o.err != nil {
+				return
+			}
+		}
+
+	case ruleSelectCommute:
+		outer := e.op.(*rel.Select)
+		for _, inner := range membersOfKind[*rel.Select](e.input(0)) {
+			if !fresh(inner) {
+				continue
+			}
+			ns := o.exprFor(outer, []*eqClass{inner.input(0)}, nil)
+			if ns == nil {
+				return
+			}
+			o.exprFor(inner.op, []*eqClass{ns.cls.find()}, e.cls.find())
+			if o.err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package fig4
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// Variant is one search-engine configuration under ablation.
+type Variant struct {
+	// Name labels the variant in reports.
+	Name string
+	// Options is the engine configuration.
+	Options core.Options
+}
+
+// Variants returns the ablations of the mechanisms the paper credits for
+// Volcano's efficiency: branch-and-bound pruning, memoized failures, and
+// property-directed search (GlueMode reverts to the Starburst strategy
+// of optimizing without properties and gluing enforcers on afterwards).
+func Variants() []Variant {
+	return []Variant{
+		{Name: "default"},
+		{Name: "no-pruning", Options: core.Options{NoPruning: true}},
+		{Name: "no-failure-memo", Options: core.Options{NoFailureMemo: true}},
+		{Name: "glue-mode", Options: core.Options{GlueMode: true}},
+	}
+}
+
+// AblationPoint aggregates one (variant, complexity) cell.
+type AblationPoint struct {
+	// Variant is the configuration name.
+	Variant string
+	// Relations is the number of input relations.
+	Relations int
+	// MeanMS is the mean optimization time in milliseconds.
+	MeanMS float64
+	// MeanCost is the mean estimated plan cost.
+	MeanCost float64
+	// MeanGoals is the mean number of optimization goals searched.
+	MeanGoals float64
+	// MeanPruned is the mean number of branch-and-bound prunes.
+	MeanPruned float64
+}
+
+// RunAblation measures each engine variant over the Figure-4 workload.
+func RunAblation(cfg Config) []AblationPoint {
+	cfg = cfg.Defaults()
+	var out []AblationPoint
+	for _, v := range Variants() {
+		src := datagen.New(cfg.Seed)
+		cat := src.Catalog(cfg.MaxRelations)
+		for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+			pt := AblationPoint{Variant: v.Name, Relations: n}
+			for q := 0; q < cfg.QueriesPerLevel; q++ {
+				query := src.SelectJoinQuery(cat, n, cfg.Shape)
+				opts := v.Options
+				ms, cost, stats, err := MeasureVolcano(cat, query, &opts)
+				if err != nil {
+					panic(fmt.Sprintf("fig4: variant %s failed: %v", v.Name, err))
+				}
+				pt.MeanMS += ms
+				pt.MeanCost += cost
+				pt.MeanGoals += float64(stats.GoalsOptimized)
+				pt.MeanPruned += float64(stats.Pruned)
+			}
+			f := float64(cfg.QueriesPerLevel)
+			pt.MeanMS /= f
+			pt.MeanCost /= f
+			pt.MeanGoals /= f
+			pt.MeanPruned /= f
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// FormatAblation renders ablation results grouped by variant.
+func FormatAblation(points []AblationPoint) string {
+	var b strings.Builder
+	b.WriteString("Search-engine ablations over the Figure-4 workload\n")
+	fmt.Fprintf(&b, "%-16s %-5s %10s %12s %10s %10s\n",
+		"variant", "rels", "mean-ms", "mean-cost", "goals", "pruned")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-16s %-5d %10.3f %12.1f %10.1f %10.1f\n",
+			p.Variant, p.Relations, p.MeanMS, p.MeanCost, p.MeanGoals, p.MeanPruned)
+	}
+	return b.String()
+}

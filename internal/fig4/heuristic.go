@@ -1,0 +1,102 @@
+package fig4
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// HeuristicPoint is one cell of the move-selection experiment: the
+// paper leaves "pursuing all moves or only a selected few" as a major
+// heuristic in the optimizer implementor's hands (via MoveFilter here).
+// Keeping only the most promising moves trades plan quality for
+// optimization speed.
+type HeuristicPoint struct {
+	// TopMoves is the number of moves pursued per goal; 0 = all.
+	TopMoves int
+	// Relations is the query size.
+	Relations int
+	// MeanMS is the mean optimization time.
+	MeanMS float64
+	// MeanCost is the mean plan cost.
+	MeanCost float64
+	// Failed counts queries the restricted search could not plan.
+	Failed int
+}
+
+// topMovesFilter keeps the k most promising moves (the list arrives
+// promise-ordered); enforcer moves are always kept so property goals
+// stay satisfiable.
+func topMovesFilter(k int) func([]core.Move) []core.Move {
+	return func(moves []core.Move) []core.Move {
+		if k <= 0 || len(moves) <= k {
+			return moves
+		}
+		out := make([]core.Move, 0, k+2)
+		kept := 0
+		for _, m := range moves {
+			if m.Kind == core.MoveEnforcer {
+				out = append(out, m)
+				continue
+			}
+			if kept < k {
+				out = append(out, m)
+				kept++
+			}
+		}
+		return out
+	}
+}
+
+// RunHeuristic sweeps the number of moves pursued per goal over the
+// Figure-4 workload.
+func RunHeuristic(cfg Config) []HeuristicPoint {
+	cfg = cfg.Defaults()
+	var out []HeuristicPoint
+	for _, k := range []int{1, 2, 0} {
+		src := datagen.New(cfg.Seed)
+		cat := src.Catalog(cfg.MaxRelations)
+		for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+			pt := HeuristicPoint{TopMoves: k, Relations: n}
+			completed := 0
+			for q := 0; q < cfg.QueriesPerLevel; q++ {
+				query := src.SelectJoinQuery(cat, n, cfg.Shape)
+				opts := &core.Options{}
+				if k > 0 {
+					opts.MoveFilter = topMovesFilter(k)
+				}
+				ms, cost, _, err := MeasureVolcano(cat, query, opts)
+				if err != nil {
+					pt.Failed++
+					continue
+				}
+				completed++
+				pt.MeanMS += ms
+				pt.MeanCost += cost
+			}
+			if completed > 0 {
+				pt.MeanMS /= float64(completed)
+				pt.MeanCost /= float64(completed)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// FormatHeuristic renders the sweep.
+func FormatHeuristic(points []HeuristicPoint) string {
+	var b strings.Builder
+	b.WriteString("Heuristic move selection (top-k moves per goal; 0 = exhaustive)\n")
+	fmt.Fprintf(&b, "%-6s %-5s %10s %14s %8s\n", "top-k", "rels", "mean-ms", "mean-cost", "failed")
+	for _, p := range points {
+		k := fmt.Sprintf("%d", p.TopMoves)
+		if p.TopMoves == 0 {
+			k = "all"
+		}
+		fmt.Fprintf(&b, "%-6s %-5d %10.3f %14.1f %8d\n", k, p.Relations, p.MeanMS, p.MeanCost, p.Failed)
+	}
+	return b.String()
+}

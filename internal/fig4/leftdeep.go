@@ -1,0 +1,81 @@
+package fig4
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// ShapePoint is one complexity level of the structural search-space
+// ablation: the full bushy space versus the left-deep restriction
+// ("no composite inner"), the structural boundary Starburst exposes as
+// a parameter and Volcano leaves to implementation-rule condition code.
+type ShapePoint struct {
+	// Relations is the number of input relations.
+	Relations int
+	// BushyMS and LeftDeepMS are mean optimization times.
+	BushyMS, LeftDeepMS float64
+	// BushyCost and LeftDeepCost are mean plan costs.
+	BushyCost, LeftDeepCost float64
+}
+
+// RunLeftDeep measures both configurations over the Figure-4 workload.
+func RunLeftDeep(cfg Config) []ShapePoint {
+	cfg = cfg.Defaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+	var out []ShapePoint
+	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+		pt := ShapePoint{Relations: n}
+		for q := 0; q < cfg.QueriesPerLevel; q++ {
+			query := src.SelectJoinQuery(cat, n, cfg.Shape)
+			bushyMS, bushyCost := measureCfg(cat, query, relopt.DefaultConfig())
+			ld := relopt.DefaultConfig()
+			ld.NoCompositeInner = true
+			ldMS, ldCost := measureCfg(cat, query, ld)
+			pt.BushyMS += bushyMS
+			pt.LeftDeepMS += ldMS
+			pt.BushyCost += bushyCost
+			pt.LeftDeepCost += ldCost
+		}
+		f := float64(cfg.QueriesPerLevel)
+		pt.BushyMS /= f
+		pt.LeftDeepMS /= f
+		pt.BushyCost /= f
+		pt.LeftDeepCost /= f
+		out = append(out, pt)
+	}
+	return out
+}
+
+// measureCfg optimizes one query under a model configuration.
+func measureCfg(cat *rel.Catalog, query datagen.Query, cfg relopt.Config) (ms, cost float64) {
+	opt := core.NewOptimizer(relopt.New(cat, cfg), nil)
+	root := opt.InsertQuery(query.Root)
+	start := time.Now()
+	plan, err := opt.Optimize(root, relopt.SortedOn(query.OrderBy))
+	elapsed := time.Since(start)
+	if err != nil || plan == nil {
+		panic(fmt.Sprintf("fig4: left-deep measurement failed: %v", err))
+	}
+	return float64(elapsed.Nanoseconds()) / 1e6, plan.Cost.(relopt.Cost).Total()
+}
+
+// FormatLeftDeep renders the structural ablation.
+func FormatLeftDeep(points []ShapePoint) string {
+	var b strings.Builder
+	b.WriteString("Search-space structure: bushy trees vs left-deep (no composite inner)\n")
+	fmt.Fprintf(&b, "%-5s %10s %12s %14s %14s %8s\n",
+		"rels", "bushy-ms", "leftdeep-ms", "bushy-cost", "leftdeep-cost", "plan-x")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-5d %10.3f %12.3f %14.1f %14.1f %7.2fx\n",
+			p.Relations, p.BushyMS, p.LeftDeepMS, p.BushyCost, p.LeftDeepCost,
+			p.LeftDeepCost/p.BushyCost)
+	}
+	return b.String()
+}

@@ -1,0 +1,5 @@
+//go:generate go run repro/cmd/volcano-gen -spec ../testdata/minipath.model -o minipath.go
+
+// Package minipath is regenerated from testdata/minipath.model; see
+// minipath.go.
+package minipath

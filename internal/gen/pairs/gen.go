@@ -1,0 +1,4 @@
+//go:generate go run repro/cmd/volcano-gen -spec ../testdata/pairs.model -o pairs.go
+
+// Package pairs is regenerated from testdata/pairs.model; see pairs.go.
+package pairs

@@ -1,0 +1,360 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a model specification. The grammar is line-oriented with
+// ';'-terminated declarations and '//' comments:
+//
+//	model <name> ;
+//	operator <NAME> <arity> ;
+//	transform <name> : <pattern> -> <substitute> [when <fn>]
+//	          { | <substitute> [when <fn>] } [promise <n>] ;
+//	algorithm <NAME> implements <pattern> cost <fn> [applicability <fn>]
+//	          [build <fn>] [delivered <fn>] [condition <fn>] [promise <n>] ;
+//	enforcer <NAME> relax <fn> cost <fn> [build <fn>] [delivered <fn>] [promise <n>] ;
+//
+// Patterns are operator trees with optional :labels and ?variables:
+//
+//	JOIN:top(JOIN:inner(?a, ?b), ?c)
+func Parse(input string) (*Spec, error) {
+	spec := &Spec{}
+	for _, decl := range splitDecls(input) {
+		toks, err := tokenize(decl.text)
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: %w", decl.line, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		if err := spec.parseDecl(toks); err != nil {
+			return nil, fmt.Errorf("gen: line %d: %w", decl.line, err)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type decl struct {
+	text string
+	line int
+}
+
+// splitDecls removes comments and splits on ';'.
+func splitDecls(input string) []decl {
+	var out []decl
+	var buf strings.Builder
+	line, start := 1, 1
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		if c == '/' && i+1 < len(input) && input[i+1] == '/' {
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+			line++
+			buf.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			line++
+			buf.WriteByte(' ')
+			continue
+		}
+		if c == ';' {
+			out = append(out, decl{text: buf.String(), line: start})
+			buf.Reset()
+			start = line
+			continue
+		}
+		buf.WriteByte(c)
+	}
+	if strings.TrimSpace(buf.String()) != "" {
+		out = append(out, decl{text: buf.String(), line: start})
+	}
+	return out
+}
+
+// tokenize splits one declaration into words and punctuation.
+func tokenize(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(s) && (unicode.IsLetter(rune(s[i])) || unicode.IsDigit(rune(s[i])) || s[i] == '_') {
+				i++
+			}
+			toks = append(toks, s[start:i])
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(s) && unicode.IsDigit(rune(s[i])) {
+				i++
+			}
+			toks = append(toks, s[start:i])
+		case c == '-' && i+1 < len(s) && s[i+1] == '>':
+			toks = append(toks, "->")
+			i += 2
+		case strings.ContainsRune("():,?|", c):
+			toks = append(toks, string(c))
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+// declParser walks one declaration's tokens.
+type declParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *declParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *declParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *declParser) accept(t string) bool {
+	if p.peek() == t {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *declParser) expect(t string) error {
+	if !p.accept(t) {
+		return fmt.Errorf("expected %q, got %q", t, p.peek())
+	}
+	return nil
+}
+
+func (p *declParser) ident() (string, error) {
+	t := p.next()
+	if t == "" || !identLike(t) {
+		return "", fmt.Errorf("expected identifier, got %q", t)
+	}
+	return t, nil
+}
+
+func identLike(s string) bool {
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func (spec *Spec) parseDecl(toks []string) error {
+	p := &declParser{toks: toks}
+	switch kw := p.next(); kw {
+	case "model":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if spec.Model != "" {
+			return fmt.Errorf("duplicate model declaration")
+		}
+		spec.Model = name
+		return p.done()
+
+	case "operator":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		arity, err := strconv.Atoi(p.next())
+		if err != nil {
+			return fmt.Errorf("operator %s: bad arity", name)
+		}
+		spec.Operators = append(spec.Operators, Operator{Name: name, Arity: arity})
+		return p.done()
+
+	case "transform":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(":"); err != nil {
+			return err
+		}
+		pattern, err := p.parsePattern()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("->"); err != nil {
+			return err
+		}
+		tr := Transform{Name: name, Pattern: pattern, Promise: 1}
+		for {
+			node, err := p.parsePattern()
+			if err != nil {
+				return err
+			}
+			sub := Subst{Node: node}
+			if p.accept("when") {
+				if sub.Condition, err = p.ident(); err != nil {
+					return err
+				}
+			}
+			tr.Substs = append(tr.Substs, sub)
+			if !p.accept("|") {
+				break
+			}
+		}
+		for p.peek() != "" {
+			switch p.next() {
+			case "promise":
+				if tr.Promise, err = strconv.Atoi(p.next()); err != nil {
+					return fmt.Errorf("bad promise")
+				}
+			default:
+				return fmt.Errorf("unexpected token %q", p.toks[p.pos-1])
+			}
+		}
+		// A guard on a rule's only substitute is the rule's condition.
+		if len(tr.Substs) == 1 && tr.Substs[0].Condition != "" {
+			tr.Condition = tr.Substs[0].Condition
+			tr.Substs[0].Condition = ""
+		}
+		spec.Transforms = append(spec.Transforms, tr)
+		return nil
+
+	case "algorithm":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("implements"); err != nil {
+			return err
+		}
+		pattern, err := p.parsePattern()
+		if err != nil {
+			return err
+		}
+		alg := Algorithm{Name: name, Pattern: pattern, Promise: 1}
+		for p.peek() != "" {
+			key := p.next()
+			switch key {
+			case "cost":
+				alg.Cost, err = p.ident()
+			case "applicability":
+				alg.Applicability, err = p.ident()
+			case "build":
+				alg.Build, err = p.ident()
+			case "delivered":
+				alg.Delivered, err = p.ident()
+			case "condition":
+				alg.Condition, err = p.ident()
+			case "promise":
+				alg.Promise, err = strconv.Atoi(p.next())
+			default:
+				return fmt.Errorf("unexpected token %q", key)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		spec.Algorithms = append(spec.Algorithms, alg)
+		return nil
+
+	case "enforcer":
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		enf := EnforcerDecl{Name: name, Promise: 1}
+		for p.peek() != "" {
+			key := p.next()
+			switch key {
+			case "relax":
+				enf.Relax, err = p.ident()
+			case "cost":
+				enf.Cost, err = p.ident()
+			case "build":
+				enf.Build, err = p.ident()
+			case "delivered":
+				enf.Delivered, err = p.ident()
+			case "promise":
+				enf.Promise, err = strconv.Atoi(p.next())
+			default:
+				return fmt.Errorf("unexpected token %q", key)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		spec.Enforcers = append(spec.Enforcers, enf)
+		return nil
+
+	default:
+		return fmt.Errorf("unknown declaration %q", kw)
+	}
+}
+
+func (p *declParser) done() error {
+	if p.peek() != "" {
+		return fmt.Errorf("trailing tokens starting at %q", p.peek())
+	}
+	return nil
+}
+
+// parsePattern parses NAME[:label](sub, ...) or ?var.
+func (p *declParser) parsePattern() (*PatNode, error) {
+	if p.accept("?") {
+		v, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &PatNode{Var: v}, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	n := &PatNode{Op: name}
+	if p.accept(":") {
+		if n.Label, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("(") {
+		if !p.accept(")") {
+			for {
+				c, err := p.parsePattern()
+				if err != nil {
+					return nil, err
+				}
+				n.Children = append(n.Children, c)
+				if p.accept(")") {
+					break
+				}
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,257 @@
+// Package gen is the optimizer generator proper: it translates a data
+// model specification — logical operators, transformation rules,
+// algorithms with implementation rules, and enforcers — into Go source
+// code for an optimizer package that links against the search engine in
+// internal/core, following the paper's generator paradigm (Figure 1):
+//
+//	model specification → optimizer generator → optimizer source code
+//	                                          → compiler & linker → query optimizer
+//
+// Support functions (cost functions, applicability functions, condition
+// code, property functions) are written by the optimizer implementor;
+// the generated package declares them as a Support interface and wires
+// the rules. Transformation rule application code is generated entirely
+// from the pattern and substitute: operator instances are reused through
+// pattern labels, so no operator constructors are required.
+package gen
+
+import "fmt"
+
+// Spec is a parsed model specification.
+type Spec struct {
+	// Model is the model (and generated package) name.
+	Model string
+	// Operators are the logical operators in declaration order; their
+	// kinds are assigned from this order.
+	Operators []Operator
+	// Transforms are the transformation rules.
+	Transforms []Transform
+	// Algorithms are the implementation rules.
+	Algorithms []Algorithm
+	// Enforcers are the property enforcers.
+	Enforcers []EnforcerDecl
+}
+
+// Operator declares one logical operator.
+type Operator struct {
+	// Name is the operator name (conventionally upper case).
+	Name string
+	// Arity is the number of inputs.
+	Arity int
+}
+
+// PatNode is a node of a rule pattern or substitute: either an operator
+// (possibly labeled) over sub-patterns, or a ?variable binding an
+// equivalence class.
+type PatNode struct {
+	// Var is the variable name for leaf nodes ("a" for ?a).
+	Var string
+	// Op is the operator name for operator nodes.
+	Op string
+	// Label names this operator occurrence so substitutes can reuse
+	// the matched instance ("top" in JOIN:top).
+	Label string
+	// Children are the sub-patterns.
+	Children []*PatNode
+}
+
+// IsVar reports whether the node is a variable leaf.
+func (n *PatNode) IsVar() bool { return n.Var != "" }
+
+// Subst is one substitute of a transformation rule with its optional
+// guard.
+type Subst struct {
+	// Node is the equivalent shape produced.
+	Node *PatNode
+	// Condition optionally names condition code guarding this
+	// substitute alone.
+	Condition string
+}
+
+// Transform is one transformation rule declaration. A rule may list
+// several alternative substitutes (separated by | in the specification),
+// each individually guarded — selection pushdown, for example, produces
+// a left- or right-pushed shape depending on schema membership.
+type Transform struct {
+	// Name identifies the rule.
+	Name string
+	// Pattern is the matched shape.
+	Pattern *PatNode
+	// Substs are the equivalent shapes produced.
+	Substs []Subst
+	// Condition optionally names condition code guarding the whole
+	// rule.
+	Condition string
+	// Promise orders moves.
+	Promise int
+}
+
+// Algorithm is one implementation rule declaration.
+type Algorithm struct {
+	// Name is the physical algorithm name.
+	Name string
+	// Pattern is the logical shape the algorithm implements; it may
+	// span multiple operators.
+	Pattern *PatNode
+	// Cost names the required cost function.
+	Cost string
+	// Applicability optionally names the applicability function; when
+	// empty the algorithm qualifies only for the vacuous property
+	// vector, with vacuous input requirements.
+	Applicability string
+	// Build optionally names the physical-operator constructor; when
+	// empty a default operator struct is generated.
+	Build string
+	// Delivered optionally names the delivered-properties function.
+	Delivered string
+	// Condition optionally names condition code.
+	Condition string
+	// Promise orders moves.
+	Promise int
+}
+
+// EnforcerDecl is one enforcer declaration.
+type EnforcerDecl struct {
+	// Name is the enforcer name.
+	Name string
+	// Relax names the required relax function.
+	Relax string
+	// Cost names the required cost function.
+	Cost string
+	// Build optionally names the constructor; when empty a default
+	// operator struct is generated.
+	Build string
+	// Delivered optionally names the delivered-properties function.
+	Delivered string
+	// Promise orders moves.
+	Promise int
+}
+
+// opByName returns the declared operator, or an error.
+func (s *Spec) opByName(name string) (Operator, error) {
+	for _, op := range s.Operators {
+		if op.Name == name {
+			return op, nil
+		}
+	}
+	return Operator{}, fmt.Errorf("gen: unknown operator %q", name)
+}
+
+// validate checks arities, labels, and variable binding.
+func (s *Spec) validate() error {
+	if s.Model == "" {
+		return fmt.Errorf("gen: missing model declaration")
+	}
+	if len(s.Operators) == 0 {
+		return fmt.Errorf("gen: no operators declared")
+	}
+	seen := map[string]bool{}
+	for _, op := range s.Operators {
+		if seen[op.Name] {
+			return fmt.Errorf("gen: duplicate operator %q", op.Name)
+		}
+		seen[op.Name] = true
+	}
+	for _, tr := range s.Transforms {
+		labels := map[string]string{} // label -> operator name
+		vars := map[string]bool{}
+		if err := s.checkPattern(tr.Pattern, labels, vars, true); err != nil {
+			return fmt.Errorf("gen: transform %s: %w", tr.Name, err)
+		}
+		if len(tr.Substs) == 0 {
+			return fmt.Errorf("gen: transform %s: no substitutes", tr.Name)
+		}
+		for _, sub := range tr.Substs {
+			if err := s.checkSubst(sub.Node, labels, vars); err != nil {
+				return fmt.Errorf("gen: transform %s: %w", tr.Name, err)
+			}
+		}
+	}
+	for _, alg := range s.Algorithms {
+		labels := map[string]string{}
+		vars := map[string]bool{}
+		if err := s.checkPattern(alg.Pattern, labels, vars, true); err != nil {
+			return fmt.Errorf("gen: algorithm %s: %w", alg.Name, err)
+		}
+		if alg.Cost == "" {
+			return fmt.Errorf("gen: algorithm %s: missing cost function", alg.Name)
+		}
+	}
+	for _, enf := range s.Enforcers {
+		if enf.Relax == "" || enf.Cost == "" {
+			return fmt.Errorf("gen: enforcer %s: relax and cost functions are required", enf.Name)
+		}
+	}
+	return nil
+}
+
+// checkPattern validates a pattern tree and records labels and vars.
+func (s *Spec) checkPattern(n *PatNode, labels map[string]string, vars map[string]bool, top bool) error {
+	if n.IsVar() {
+		if top {
+			return fmt.Errorf("pattern root must be an operator")
+		}
+		if vars[n.Var] {
+			return fmt.Errorf("variable ?%s bound twice", n.Var)
+		}
+		vars[n.Var] = true
+		return nil
+	}
+	op, err := s.opByName(n.Op)
+	if err != nil {
+		return err
+	}
+	if len(n.Children) != op.Arity {
+		return fmt.Errorf("operator %s has arity %d, pattern supplies %d inputs",
+			n.Op, op.Arity, len(n.Children))
+	}
+	if n.Label != "" {
+		if _, dup := labels[n.Label]; dup {
+			return fmt.Errorf("duplicate label %q", n.Label)
+		}
+		labels[n.Label] = n.Op
+	}
+	for _, c := range n.Children {
+		if err := s.checkPattern(c, labels, vars, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSubst validates a substitute: every variable must be bound by the
+// pattern and every operator occurrence must reuse a pattern label of
+// the same operator.
+func (s *Spec) checkSubst(n *PatNode, labels map[string]string, vars map[string]bool) error {
+	if n.IsVar() {
+		if !vars[n.Var] {
+			return fmt.Errorf("substitute uses unbound variable ?%s", n.Var)
+		}
+		return nil
+	}
+	label := n.Label
+	if label == "" {
+		return fmt.Errorf("substitute operator %s needs a label reusing a matched instance", n.Op)
+	}
+	opName, ok := labels[label]
+	if !ok {
+		return fmt.Errorf("substitute label %q not bound in pattern", label)
+	}
+	if opName != n.Op {
+		return fmt.Errorf("substitute label %q is a %s in the pattern, used as %s", label, opName, n.Op)
+	}
+	op, err := s.opByName(n.Op)
+	if err != nil {
+		return err
+	}
+	if len(n.Children) != op.Arity {
+		return fmt.Errorf("operator %s has arity %d, substitute supplies %d inputs",
+			n.Op, op.Arity, len(n.Children))
+	}
+	for _, c := range n.Children {
+		if err := s.checkSubst(c, labels, vars); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,274 @@
+package oodb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Object is one stored object: scalar attribute values plus references
+// to other objects by target OID.
+type Object struct {
+	// OID is the object identifier, unique within its class extent.
+	OID int64
+	// Scalars holds scalar attribute values.
+	Scalars map[string]int64
+	// Refs holds reference attribute values (target OIDs).
+	Refs map[string]int64
+}
+
+// Store is an object database instance: one extent per class.
+type Store struct {
+	extents map[string]map[int64]*Object // class → OID → object
+	order   map[string][]int64           // scan order per extent
+
+	// Fetches counts object dereferences that missed the assembled
+	// working set — the runtime analogue of the cost model's random
+	// I/Os, used by tests to validate the optimizer's choices.
+	Fetches int
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		extents: make(map[string]map[int64]*Object),
+		order:   make(map[string][]int64),
+	}
+}
+
+// Put stores an object in a class extent.
+func (s *Store) Put(cls *Class, obj *Object) {
+	ext := s.extents[cls.Name]
+	if ext == nil {
+		ext = make(map[int64]*Object)
+		s.extents[cls.Name] = ext
+	}
+	if _, dup := ext[obj.OID]; !dup {
+		s.order[cls.Name] = append(s.order[cls.Name], obj.OID)
+	}
+	ext[obj.OID] = obj
+}
+
+// Get fetches an object, counting the dereference unless the caller
+// passes an assembled working set containing it.
+func (s *Store) Get(cls *Class, oid int64, assembled map[int64]bool) *Object {
+	if assembled == nil || !assembled[oid] {
+		s.Fetches++
+	}
+	return s.extents[cls.Name][oid]
+}
+
+// scope is one row of object execution: the chain of objects brought
+// into scope by materialize steps; the last element is the head.
+type scope struct {
+	objs []*Object
+	// assembled, when non-nil, is the set of OIDs resident from an
+	// assembly pass (keyed per class name + oid).
+	assembled map[string]map[int64]bool
+}
+
+func (sc scope) head() *Object { return sc.objs[len(sc.objs)-1] }
+
+// Execute runs an optimized object plan against the store, returning
+// the final scopes (one per surviving root object path). It interprets
+// the object physical algebra: extent-scan, filter, pointer-chase,
+// assembly, assembled-traverse.
+func Execute(st *Store, cat *Catalog, plan *core.Plan) ([][]int64, error) {
+	scopes, _, err := execNode(st, cat, plan)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(scopes))
+	for i, sc := range scopes {
+		row := make([]int64, len(sc.objs))
+		for j, o := range sc.objs {
+			row[j] = o.OID
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// execNode evaluates one plan node, returning the scopes and the head
+// class.
+func execNode(st *Store, cat *Catalog, plan *core.Plan) ([]scope, *Class, error) {
+	switch op := plan.Op.(type) {
+	case *ExtentScan:
+		oids := st.order[op.Cls.Name]
+		scopes := make([]scope, 0, len(oids))
+		for _, oid := range oids {
+			obj := st.extents[op.Cls.Name][oid] // sequential scan: no fetch counted
+			scopes = append(scopes, scope{objs: []*Object{obj}})
+		}
+		return scopes, op.Cls, nil
+
+	case *FilterObjects:
+		in, head, err := execNode(st, cat, plan.Inputs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		sel := findSelect(plan)
+		if sel == nil {
+			return nil, nil, fmt.Errorf("oodb: filter without selection metadata")
+		}
+		var out []scope
+		for _, sc := range in {
+			v, ok := sc.head().Scalars[sel.Attr]
+			if !ok {
+				return nil, nil, fmt.Errorf("oodb: object %d lacks scalar %q", sc.head().OID, sel.Attr)
+			}
+			keep := false
+			switch sel.Op {
+			case CmpEQ:
+				keep = v == sel.Val
+			case CmpLT:
+				keep = v < sel.Val
+			case CmpGT:
+				keep = v > sel.Val
+			}
+			if keep {
+				out = append(out, sc)
+			}
+		}
+		return out, head, nil
+
+	case *PointerChase:
+		in, head, err := execNode(st, cat, plan.Inputs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		target := head.Refs[op.Attr]
+		if target == nil {
+			return nil, nil, fmt.Errorf("oodb: class %s lacks reference %q", head.Name, op.Attr)
+		}
+		var out []scope
+		for _, sc := range in {
+			oid, ok := sc.head().Refs[op.Attr]
+			if !ok {
+				continue
+			}
+			var resident map[int64]bool
+			if sc.assembled != nil {
+				resident = sc.assembled[target.Name]
+			}
+			obj := st.Get(target, oid, resident)
+			if obj == nil {
+				continue
+			}
+			out = append(out, scope{objs: append(append([]*Object(nil), sc.objs...), obj), assembled: sc.assembled})
+		}
+		return out, target, nil
+
+	case *AssembledTraverse:
+		// Same navigation, but over an assembled working set: the
+		// dereference must hit residency.
+		in, head, err := execNode(st, cat, plan.Inputs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		target := head.Refs[op.Attr]
+		if target == nil {
+			return nil, nil, fmt.Errorf("oodb: class %s lacks reference %q", head.Name, op.Attr)
+		}
+		var out []scope
+		for _, sc := range in {
+			if sc.assembled == nil {
+				return nil, nil, fmt.Errorf("oodb: assembled-traverse over unassembled input")
+			}
+			oid, ok := sc.head().Refs[op.Attr]
+			if !ok {
+				continue
+			}
+			obj := st.Get(target, oid, sc.assembled[target.Name])
+			if obj == nil {
+				continue
+			}
+			out = append(out, scope{objs: append(append([]*Object(nil), sc.objs...), obj), assembled: sc.assembled})
+		}
+		return out, target, nil
+
+	case *Assembly:
+		in, head, err := execNode(st, cat, plan.Inputs[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		// Assemble the component closure of every head object with
+		// batched window reads: sort the outstanding references per
+		// class (elevator order) and fetch each object once.
+		assembled := make(map[string]map[int64]bool)
+		frontier := make(map[string]map[int64]bool)
+		add := func(cls string, oid int64) {
+			if assembled[cls] == nil {
+				assembled[cls] = make(map[int64]bool)
+			}
+			if assembled[cls][oid] {
+				return
+			}
+			if frontier[cls] == nil {
+				frontier[cls] = make(map[int64]bool)
+			}
+			frontier[cls][oid] = true
+		}
+		for _, sc := range in {
+			add(head.Name, sc.head().OID)
+		}
+		classOf := map[string]*Class{}
+		for _, name := range cat.Classes() {
+			classOf[name] = cat.Class(name)
+		}
+		for len(frontier) > 0 {
+			next := make(map[string]map[int64]bool)
+			for clsName, oids := range frontier {
+				cls := classOf[clsName]
+				sorted := make([]int64, 0, len(oids))
+				for oid := range oids {
+					sorted = append(sorted, oid)
+				}
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				for _, oid := range sorted {
+					obj := st.Get(cls, oid, nil) // window read
+					assembled[clsName][oid] = true
+					if obj == nil {
+						continue
+					}
+					for attr, target := range cls.Refs {
+						ref, ok := obj.Refs[attr]
+						if !ok {
+							continue
+						}
+						if assembled[target.Name][ref] {
+							continue
+						}
+						if next[target.Name] == nil {
+							next[target.Name] = make(map[int64]bool)
+						}
+						if assembled[target.Name] == nil {
+							assembled[target.Name] = make(map[int64]bool)
+						}
+						next[target.Name][ref] = true
+					}
+				}
+			}
+			frontier = next
+		}
+		out := make([]scope, len(in))
+		for i, sc := range in {
+			out[i] = scope{objs: sc.objs, assembled: assembled}
+		}
+		return out, head, nil
+	}
+	return nil, nil, fmt.Errorf("oodb: no runtime for physical operator %T", plan.Op)
+}
+
+// findSelect recovers the logical selection matched by a filter node
+// from the plan's expression metadata. The filter's display predicate is
+// parsed back; to avoid string round-trips the optimizer stores the
+// predicate in the operator, so this simply re-reads it.
+func findSelect(plan *core.Plan) *Select {
+	f, ok := plan.Op.(*FilterObjects)
+	if !ok {
+		return nil
+	}
+	return f.Sel
+}

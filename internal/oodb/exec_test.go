@@ -1,0 +1,189 @@
+package oodb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/oodb"
+)
+
+// populate builds a store consistent with the test schema: every Emp
+// references a Dept, every Dept a Division, every Division the Company.
+func populate(cat *oodb.Catalog, seed int64) *oodb.Store {
+	rng := rand.New(rand.NewSource(seed))
+	st := oodb.NewStore()
+	company := cat.Class("Company")
+	division := cat.Class("Division")
+	dept := cat.Class("Dept")
+	emp := cat.Class("Emp")
+	for i := int64(1); i <= company.Objects; i++ {
+		st.Put(company, &oodb.Object{OID: i, Scalars: map[string]int64{"founded": i}})
+	}
+	for i := int64(1); i <= division.Objects; i++ {
+		st.Put(division, &oodb.Object{
+			OID:  i,
+			Refs: map[string]int64{"company": 1 + rng.Int63n(company.Objects)},
+		})
+	}
+	for i := int64(1); i <= dept.Objects; i++ {
+		st.Put(dept, &oodb.Object{
+			OID:     i,
+			Scalars: map[string]int64{"budget": rng.Int63n(100)},
+			Refs:    map[string]int64{"division": 1 + rng.Int63n(division.Objects)},
+		})
+	}
+	for i := int64(1); i <= emp.Objects; i++ {
+		st.Put(emp, &oodb.Object{
+			OID:     i,
+			Scalars: map[string]int64{"salary": rng.Int63n(1000), "age": 18 + rng.Int63n(50)},
+			Refs:    map[string]int64{"dept": 1 + rng.Int63n(dept.Objects)},
+		})
+	}
+	return st
+}
+
+// smallSchema is a reduced version of the test schema so the runtime
+// checks stay fast.
+func smallSchema() *oodb.Catalog {
+	cat := oodb.NewCatalog()
+	company := cat.AddClass("Company", 5, 400)
+	division := cat.AddClass("Division", 20, 300)
+	dept := cat.AddClass("Dept", 60, 200)
+	emp := cat.AddClass("Emp", 400, 150)
+	cat.AddScalar(emp, "salary", 1000)
+	cat.AddScalar(emp, "age", 50)
+	cat.AddScalar(dept, "budget", 100)
+	cat.AddScalar(company, "founded", 5)
+	cat.AddRef(emp, "dept", dept)
+	cat.AddRef(dept, "division", division)
+	cat.AddRef(division, "company", company)
+	return cat
+}
+
+// refPath is the oracle: follow the path by definition.
+func refPath(st *oodb.Store, cat *oodb.Catalog, withSelect bool, steps []string) [][]int64 {
+	emp := cat.Class("Emp")
+	var out [][]int64
+	for oid := int64(1); oid <= emp.Objects; oid++ {
+		obj := st.Get(emp, oid, map[int64]bool{oid: true})
+		if withSelect && !(obj.Scalars["age"] > 40) {
+			continue
+		}
+		row := []int64{oid}
+		cur, cls := obj, emp
+		ok := true
+		for _, s := range steps {
+			target := cls.Refs[s]
+			next := st.Get(target, cur.Refs[s], map[int64]bool{cur.Refs[s]: true})
+			if next == nil {
+				ok = false
+				break
+			}
+			row = append(row, next.OID)
+			cur, cls = next, target
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func buildQuery(cat *oodb.Catalog, withSelect bool, steps []string) *core.ExprTree {
+	tree := core.Node(&oodb.GetSet{Cls: cat.Class("Emp")})
+	if withSelect {
+		tree = core.Node(&oodb.Select{Attr: "age", Op: oodb.CmpGT, Val: 40}, tree)
+	}
+	for _, s := range steps {
+		tree = core.Node(&oodb.Materialize{Attr: s}, tree)
+	}
+	return tree
+}
+
+func rowsEqual(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r []int64) string {
+		out := make([]byte, 0, len(r)*8)
+		for _, v := range r {
+			out = append(out, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ';')
+		}
+		return string(out)
+	}
+	seen := map[string]int{}
+	for _, r := range a {
+		seen[key(r)]++
+	}
+	for _, r := range b {
+		seen[key(r)]--
+		if seen[key(r)] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExecuteMatchesReference: optimized object plans (chase or
+// assembly) produce exactly the objects the path definition yields.
+func TestExecuteMatchesReference(t *testing.T) {
+	cat := smallSchema()
+	st := populate(cat, 3)
+	model := oodb.New(cat, oodb.DefaultParams())
+	steps := []string{"dept", "division", "company"}
+	for k := 1; k <= 3; k++ {
+		for _, withSelect := range []bool{false, true} {
+			tree := buildQuery(cat, withSelect, steps[:k])
+			opt := core.NewOptimizer(model, nil)
+			root := opt.InsertQuery(tree)
+			plan, err := opt.Optimize(root, nil)
+			if err != nil || plan == nil {
+				t.Fatalf("k=%d optimize: %v", k, err)
+			}
+			got, err := oodb.Execute(st, cat, plan)
+			if err != nil {
+				t.Fatalf("k=%d execute: %v\n%s", k, err, plan.Format())
+			}
+			want := refPath(st, cat, withSelect, steps[:k])
+			if !rowsEqual(got, want) {
+				t.Fatalf("k=%d select=%v: %d rows != reference %d\n%s",
+					k, withSelect, len(got), len(want), plan.Format())
+			}
+		}
+	}
+}
+
+// TestAssemblyReducesFetches: for a long path, the assembled plan
+// dereferences each object once (batched), while forcing pointer
+// chasing (via a huge assembly cost) fetches per step. The runtime
+// fetch counts must reflect the cost model's preference.
+func TestAssemblyReducesFetches(t *testing.T) {
+	cat := smallSchema()
+	steps := []string{"dept", "division", "company"}
+
+	run := func(params oodb.Params) int {
+		st := populate(cat, 3)
+		model := oodb.New(cat, params)
+		opt := core.NewOptimizer(model, nil)
+		root := opt.InsertQuery(buildQuery(cat, false, steps))
+		plan, err := opt.Optimize(root, nil)
+		if err != nil || plan == nil {
+			t.Fatalf("optimize: %v", err)
+		}
+		st.Fetches = 0
+		if _, err := oodb.Execute(st, cat, plan); err != nil {
+			t.Fatalf("execute: %v\n%s", err, plan.Format())
+		}
+		return st.Fetches
+	}
+
+	assembled := run(oodb.DefaultParams())
+	chasing := oodb.DefaultParams()
+	chasing.AssemblyIO = 1e9 // price assembly out of every plan
+	chased := run(chasing)
+	if assembled >= chased {
+		t.Fatalf("assembly fetched %d objects, chasing %d; assembly should dereference less",
+			assembled, chased)
+	}
+}

@@ -1,0 +1,128 @@
+package rel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+func demoCatalog(t *testing.T) *rel.Catalog {
+	t.Helper()
+	cat := rel.NewCatalog()
+	emp := cat.AddTable("emp", 1000, 100)
+	cat.AddColumn(emp, "id", 1000, 1, 1000)
+	cat.AddColumn(emp, "dept", 50, 1, 50)
+	dept := cat.AddTable("dept", 50, 80)
+	cat.AddColumn(dept, "id", 50, 1, 50)
+	return cat
+}
+
+func TestCatalogLookup(t *testing.T) {
+	cat := demoCatalog(t)
+	if cat.Table("emp") == nil || cat.Table("nosuch") != nil {
+		t.Fatal("table lookup broken")
+	}
+	if got := cat.Tables(); len(got) != 2 || got[0] != "emp" || got[1] != "dept" {
+		t.Fatalf("Tables() = %v", got)
+	}
+	id := cat.ColumnID("emp", "dept")
+	if id == rel.InvalidCol {
+		t.Fatal("ColumnID failed")
+	}
+	if cat.Column(id).Qualified() != "emp.dept" {
+		t.Fatalf("Qualified = %q", cat.Column(id).Qualified())
+	}
+	if cat.TableOf(id).Name != "emp" {
+		t.Fatal("TableOf failed")
+	}
+	if cat.ColumnID("emp", "nosuch") != rel.InvalidCol {
+		t.Fatal("missing column should be invalid")
+	}
+	if cat.ColumnID("nosuch", "id") != rel.InvalidCol {
+		t.Fatal("missing table should be invalid")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	cat := demoCatalog(t)
+	if cat.ResolveColumn("dept") == rel.InvalidCol {
+		t.Fatal("unique name should resolve")
+	}
+	if cat.ResolveColumn("id") != rel.InvalidCol {
+		t.Fatal("ambiguous name should not resolve")
+	}
+	if cat.ResolveColumn("nosuch") != rel.InvalidCol {
+		t.Fatal("missing name should not resolve")
+	}
+}
+
+func TestTableIndexesAreDense(t *testing.T) {
+	cat := demoCatalog(t)
+	if cat.Table("emp").Index != 0 || cat.Table("dept").Index != 1 {
+		t.Fatalf("indexes: emp=%d dept=%d", cat.Table("emp").Index, cat.Table("dept").Index)
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	cat := demoCatalog(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate AddTable did not panic")
+		}
+	}()
+	cat.AddTable("emp", 1, 1)
+}
+
+func TestInvalidColumnPanics(t *testing.T) {
+	cat := demoCatalog(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Column(0) did not panic")
+		}
+	}()
+	cat.Column(0)
+}
+
+func TestColumnNames(t *testing.T) {
+	cat := demoCatalog(t)
+	names := cat.ColumnNames([]rel.ColID{cat.ColumnID("emp", "id"), cat.ColumnID("dept", "id")})
+	if strings.Join(names, ",") != "emp.id,dept.id" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+}
+
+func TestPredFormatting(t *testing.T) {
+	cat := demoCatalog(t)
+	p := rel.Pred{Col: cat.ColumnID("emp", "dept"), Op: rel.CmpLE, Val: 10}
+	if got := p.Format(cat); got != "emp.dept <= 10" {
+		t.Fatalf("Format = %q", got)
+	}
+	q := rel.Pred{Col: cat.ColumnID("emp", "dept"), Op: rel.CmpEQ, OtherCol: cat.ColumnID("dept", "id")}
+	if got := q.Format(cat); got != "emp.dept = dept.id" {
+		t.Fatalf("Format = %q", got)
+	}
+	if !q.IsColCol() || p.IsColCol() {
+		t.Fatal("IsColCol misclassifies")
+	}
+}
+
+func TestCmpOpEval(t *testing.T) {
+	cases := []struct {
+		op   rel.CmpOp
+		a, b int64
+		want bool
+	}{
+		{rel.CmpEQ, 3, 3, true}, {rel.CmpEQ, 3, 4, false},
+		{rel.CmpNE, 3, 4, true}, {rel.CmpNE, 3, 3, false},
+		{rel.CmpLT, 3, 4, true}, {rel.CmpLT, 4, 4, false},
+		{rel.CmpLE, 4, 4, true}, {rel.CmpLE, 5, 4, false},
+		{rel.CmpGT, 5, 4, true}, {rel.CmpGT, 4, 4, false},
+		{rel.CmpGE, 4, 4, true}, {rel.CmpGE, 3, 4, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}

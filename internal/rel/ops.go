@@ -1,0 +1,334 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Operator kinds of the relational logical algebra. The optimizer
+// generator translates operator names into these small integers so that
+// pattern matching compares integers, never strings.
+const (
+	// KindGet scans a stored relation. Arity 0.
+	KindGet core.OpKind = iota + 1
+	// KindSelect filters rows by one predicate conjunct. Arity 1.
+	KindSelect
+	// KindJoin is an equi-join on one column pair. Arity 2.
+	KindJoin
+	// KindProject narrows the schema to a column list. Arity 1.
+	KindProject
+	// KindIntersect is set intersection of two inputs with identical
+	// schemas. Arity 2.
+	KindIntersect
+	// KindGroupBy groups on a column list and computes aggregates.
+	// Arity 1.
+	KindGroupBy
+	// KindUnion is set union of two inputs with identical schemas.
+	// Arity 2.
+	KindUnion
+)
+
+// Get is the logical scan of a stored relation.
+type Get struct {
+	// Tab is the catalog entry for the relation.
+	Tab *Table
+}
+
+// Kind returns KindGet.
+func (g *Get) Kind() core.OpKind { return KindGet }
+
+// Arity returns 0: GET has no algebra inputs.
+func (g *Get) Arity() int { return 0 }
+
+// ArgsEqual reports whether other scans the same relation.
+func (g *Get) ArgsEqual(other core.LogicalOp) bool {
+	return g.Tab.Name == other.(*Get).Tab.Name
+}
+
+// ArgsHash hashes the relation name.
+func (g *Get) ArgsHash() uint64 {
+	h := fnvOffset
+	for i := 0; i < len(g.Tab.Name); i++ {
+		h = fnvMix(h, uint64(g.Tab.Name[i]))
+	}
+	return h
+}
+
+// Name returns "GET".
+func (g *Get) Name() string { return "GET" }
+
+// String renders the operator with its relation.
+func (g *Get) String() string { return "GET(" + g.Tab.Name + ")" }
+
+// Select filters its input by a single predicate conjunct; conjunctions
+// are stacked SELECT operators.
+type Select struct {
+	// Pred is the filter conjunct.
+	Pred Pred
+}
+
+// Kind returns KindSelect.
+func (s *Select) Kind() core.OpKind { return KindSelect }
+
+// Arity returns 1.
+func (s *Select) Arity() int { return 1 }
+
+// ArgsEqual reports whether other filters by the same conjunct.
+func (s *Select) ArgsEqual(other core.LogicalOp) bool {
+	return s.Pred == other.(*Select).Pred
+}
+
+// ArgsHash hashes the predicate.
+func (s *Select) ArgsHash() uint64 { return s.Pred.hash() }
+
+// Name returns "SELECT".
+func (s *Select) Name() string { return "SELECT" }
+
+// String renders the operator with its predicate.
+func (s *Select) String() string { return "SELECT(" + s.Pred.String() + ")" }
+
+// Join is an equi-join on one column pair. The pair is stored in
+// canonical (smaller ID first) order so that commuted join expressions
+// differ only in their input classes, letting the memo collapse
+// duplicate derivations.
+type Join struct {
+	// A and B are the equated columns, A < B.
+	A, B ColID
+}
+
+// NewJoin builds a Join with the column pair in canonical order.
+func NewJoin(a, b ColID) *Join {
+	if b < a {
+		a, b = b, a
+	}
+	return &Join{A: a, B: b}
+}
+
+// Kind returns KindJoin.
+func (j *Join) Kind() core.OpKind { return KindJoin }
+
+// Arity returns 2.
+func (j *Join) Arity() int { return 2 }
+
+// ArgsEqual reports whether other joins on the same column pair.
+func (j *Join) ArgsEqual(other core.LogicalOp) bool {
+	o := other.(*Join)
+	return j.A == o.A && j.B == o.B
+}
+
+// ArgsHash hashes the column pair.
+func (j *Join) ArgsHash() uint64 {
+	return fnvMix(fnvMix(fnvOffset, uint64(uint32(j.A))), uint64(uint32(j.B)))
+}
+
+// Name returns "JOIN".
+func (j *Join) Name() string { return "JOIN" }
+
+// String renders the operator with its predicate.
+func (j *Join) String() string { return fmt.Sprintf("JOIN(c%d=c%d)", j.A, j.B) }
+
+// Project narrows the schema to the listed columns, preserving order and
+// without duplicate removal (the paper's join-followed-by-projection
+// example relies on projection being foldable into a join procedure).
+type Project struct {
+	// Cols is the output column list.
+	Cols []ColID
+}
+
+// Kind returns KindProject.
+func (p *Project) Kind() core.OpKind { return KindProject }
+
+// Arity returns 1.
+func (p *Project) Arity() int { return 1 }
+
+// ArgsEqual compares column lists elementwise.
+func (p *Project) ArgsEqual(other core.LogicalOp) bool {
+	o := other.(*Project)
+	if len(p.Cols) != len(o.Cols) {
+		return false
+	}
+	for i, c := range p.Cols {
+		if c != o.Cols[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgsHash hashes the column list.
+func (p *Project) ArgsHash() uint64 {
+	h := fnvOffset
+	for _, c := range p.Cols {
+		h = fnvMix(h, uint64(uint32(c)))
+	}
+	return h
+}
+
+// Name returns "PROJECT".
+func (p *Project) Name() string { return "PROJECT" }
+
+// String renders the operator with its column list.
+func (p *Project) String() string {
+	var b strings.Builder
+	b.WriteString("PROJECT(")
+	for i, c := range p.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Intersect is set intersection of two inputs with identical schemas.
+// Its sort-based implementation accepts any sort order shared by both
+// inputs — the paper's motivating example for alternative input
+// property combinations.
+type Intersect struct{}
+
+// Kind returns KindIntersect.
+func (*Intersect) Kind() core.OpKind { return KindIntersect }
+
+// Arity returns 2.
+func (*Intersect) Arity() int { return 2 }
+
+// ArgsEqual is always true: INTERSECT carries no arguments.
+func (*Intersect) ArgsEqual(core.LogicalOp) bool { return true }
+
+// ArgsHash returns a fixed hash: INTERSECT carries no arguments.
+func (*Intersect) ArgsHash() uint64 { return fnvOffset }
+
+// Name returns "INTERSECT".
+func (*Intersect) Name() string { return "INTERSECT" }
+
+// String returns "INTERSECT".
+func (*Intersect) String() string { return "INTERSECT" }
+
+// Union is set union of two inputs with identical schemas. Like
+// intersection, its sort-based implementation accepts any shared input
+// order and delivers it — the Section 5 argument that set operations
+// deserve the same cost-based, order-aware optimization as joins.
+type Union struct{}
+
+// Kind returns KindUnion.
+func (*Union) Kind() core.OpKind { return KindUnion }
+
+// Arity returns 2.
+func (*Union) Arity() int { return 2 }
+
+// ArgsEqual is always true: UNION carries no arguments.
+func (*Union) ArgsEqual(core.LogicalOp) bool { return true }
+
+// ArgsHash returns a fixed hash: UNION carries no arguments.
+func (*Union) ArgsHash() uint64 { return fnvOffset ^ 0x55 }
+
+// Name returns "UNION".
+func (*Union) Name() string { return "UNION" }
+
+// String returns "UNION".
+func (*Union) String() string { return "UNION" }
+
+// AggFn names an aggregate function.
+type AggFn int8
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String renders the aggregate function name.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "?"
+}
+
+// Agg is one aggregate computation in a GROUPBY.
+type Agg struct {
+	// Fn is the aggregate function.
+	Fn AggFn
+	// Col is the argument column; ignored for COUNT.
+	Col ColID
+}
+
+// GroupBy groups rows on a column list and computes aggregates. Its
+// sort-based implementation requires input sorted on the grouping
+// columns, giving the optimizer another source of interesting orders.
+type GroupBy struct {
+	// GroupCols are the grouping columns.
+	GroupCols []ColID
+	// Aggs are the aggregates computed per group.
+	Aggs []Agg
+}
+
+// Kind returns KindGroupBy.
+func (g *GroupBy) Kind() core.OpKind { return KindGroupBy }
+
+// Arity returns 1.
+func (g *GroupBy) Arity() int { return 1 }
+
+// ArgsEqual compares grouping columns and aggregate lists.
+func (g *GroupBy) ArgsEqual(other core.LogicalOp) bool {
+	o := other.(*GroupBy)
+	if len(g.GroupCols) != len(o.GroupCols) || len(g.Aggs) != len(o.Aggs) {
+		return false
+	}
+	for i, c := range g.GroupCols {
+		if c != o.GroupCols[i] {
+			return false
+		}
+	}
+	for i, a := range g.Aggs {
+		if a != o.Aggs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArgsHash hashes grouping columns and aggregates.
+func (g *GroupBy) ArgsHash() uint64 {
+	h := fnvOffset
+	for _, c := range g.GroupCols {
+		h = fnvMix(h, uint64(uint32(c)))
+	}
+	for _, a := range g.Aggs {
+		h = fnvMix(h, uint64(uint8(a.Fn)))
+		h = fnvMix(h, uint64(uint32(a.Col)))
+	}
+	return h
+}
+
+// Name returns "GROUPBY".
+func (g *GroupBy) Name() string { return "GROUPBY" }
+
+// String renders the operator with grouping columns and aggregates.
+func (g *GroupBy) String() string {
+	var b strings.Builder
+	b.WriteString("GROUPBY(")
+	for i, c := range g.GroupCols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c)
+	}
+	for _, a := range g.Aggs {
+		fmt.Fprintf(&b, ";%s(c%d)", a.Fn, a.Col)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

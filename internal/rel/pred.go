@@ -1,0 +1,124 @@
+package rel
+
+import "fmt"
+
+// CmpOp is a comparison operator in a selection predicate.
+type CmpOp int8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "<>"
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Eval applies the comparison to two integer values.
+func (op CmpOp) Eval(a, b int64) bool {
+	switch op {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+// Pred is a selection predicate: one conjunct comparing a column with a
+// constant or with another column. Conjunctions are represented by
+// stacked SELECT operators (or by slices of Pred in physical filters),
+// keeping each operator a single algebraic unit for rule matching.
+type Pred struct {
+	// Col is the left-hand column.
+	Col ColID
+	// Op compares Col with the right-hand side.
+	Op CmpOp
+	// OtherCol, when non-zero, makes the predicate a column-column
+	// comparison; Val is ignored.
+	OtherCol ColID
+	// Val is the constant right-hand side when OtherCol is zero.
+	Val int64
+	// Param, when non-zero, marks the constant as the 1-based index of
+	// a runtime parameter: the query is incompletely specified at
+	// optimization time, and Val is bound at execution. The optimizer
+	// prices such predicates with an assumed selectivity (or a bucket
+	// of assumptions, for dynamic plans).
+	Param int
+}
+
+// IsParam reports whether the right-hand side is a runtime parameter.
+func (p Pred) IsParam() bool { return p.Param != 0 && p.OtherCol == InvalidCol }
+
+// IsColCol reports whether the predicate compares two columns.
+func (p Pred) IsColCol() bool { return p.OtherCol != InvalidCol }
+
+// Format renders the predicate using catalog names.
+func (p Pred) Format(c *Catalog) string {
+	if p.IsColCol() {
+		return fmt.Sprintf("%s %s %s", c.Column(p.Col).Qualified(), p.Op, c.Column(p.OtherCol).Qualified())
+	}
+	return fmt.Sprintf("%s %s %d", c.Column(p.Col).Qualified(), p.Op, p.Val)
+}
+
+// String renders the predicate with raw column IDs (no catalog).
+func (p Pred) String() string {
+	if p.IsColCol() {
+		return fmt.Sprintf("c%d %s c%d", p.Col, p.Op, p.OtherCol)
+	}
+	if p.IsParam() {
+		return fmt.Sprintf("c%d %s $%d", p.Col, p.Op, p.Param)
+	}
+	return fmt.Sprintf("c%d %s %d", p.Col, p.Op, p.Val)
+}
+
+// hash mixes the predicate into an FNV-style accumulator.
+func (p Pred) hash() uint64 {
+	h := fnvOffset
+	h = fnvMix(h, uint64(uint32(p.Col)))
+	h = fnvMix(h, uint64(uint8(p.Op)))
+	h = fnvMix(h, uint64(uint32(p.OtherCol)))
+	h = fnvMix(h, uint64(p.Val))
+	h = fnvMix(h, uint64(p.Param))
+	return h
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvMix folds one value into an FNV-1a style hash accumulator.
+func fnvMix(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}

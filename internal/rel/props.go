@@ -1,0 +1,401 @@
+package rel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ColStat is the optimizer's estimate for one column of an intermediate
+// result.
+type ColStat struct {
+	// Distinct is the estimated number of distinct values.
+	Distinct float64
+	// Min and Max bound the estimated value domain.
+	Min, Max int64
+	// Width is the column's width in bytes.
+	Width int
+}
+
+// Props are the logical properties of a relational intermediate result:
+// schema, expected size, and per-column statistics. They are derived
+// from the logical expression before any optimization and are therefore
+// identical for every member of an equivalence class. Selectivity
+// estimation is encapsulated here, in the model's logical property
+// functions, as the paper prescribes.
+type Props struct {
+	// Cat is the catalog the properties were derived against.
+	Cat *Catalog
+	// Cols is the output schema, in column order.
+	Cols []ColID
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// RowBytes is the estimated record width.
+	RowBytes int
+	// Tables is a bitset (by Table.Index) of the base relations that
+	// contribute rows to this result.
+	Tables uint64
+	// Stats holds per-column estimates for every column in Cols.
+	Stats map[ColID]ColStat
+}
+
+var _ core.LogicalProps = (*Props)(nil)
+
+// String summarizes the properties.
+func (p *Props) String() string {
+	return fmt.Sprintf("rows=%.0f cols=%d width=%dB", p.Rows, len(p.Cols), p.RowBytes)
+}
+
+// HasCol reports whether the schema contains the column.
+func (p *Props) HasCol(c ColID) bool {
+	_, ok := p.Stats[c]
+	return ok
+}
+
+// HasCols reports whether the schema contains every listed column.
+func (p *Props) HasCols(cols []ColID) bool {
+	for _, c := range cols {
+		if !p.HasCol(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pages returns the number of storage pages the result occupies at the
+// given page size.
+func (p *Props) Pages(pageBytes int) float64 {
+	if pageBytes <= 0 || p.RowBytes <= 0 {
+		return 0
+	}
+	rowsPerPage := float64(pageBytes / p.RowBytes)
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	pages := p.Rows / rowsPerPage
+	if pages < 1 && p.Rows > 0 {
+		pages = 1
+	}
+	return pages
+}
+
+// clampDistinct caps every column's distinct count at the row estimate.
+func (p *Props) clampDistinct() {
+	for c, s := range p.Stats {
+		if s.Distinct > p.Rows {
+			s.Distinct = p.Rows
+			if s.Distinct < 1 {
+				s.Distinct = 1
+			}
+			p.Stats[c] = s
+		}
+	}
+}
+
+// DeriveProps computes the logical properties of an expression from its
+// operator and the already-derived properties of its inputs. It is the
+// model's property function for every logical operator.
+func DeriveProps(cat *Catalog, op core.LogicalOp, inputs []core.LogicalProps) *Props {
+	in := make([]*Props, len(inputs))
+	for i, lp := range inputs {
+		in[i] = lp.(*Props)
+	}
+	switch o := op.(type) {
+	case *Get:
+		return deriveGet(cat, o)
+	case *Select:
+		return deriveSelect(o, in[0])
+	case *Join:
+		return deriveJoin(o, in[0], in[1])
+	case *Project:
+		return deriveProject(o, in[0])
+	case *Intersect:
+		return deriveIntersect(in[0], in[1])
+	case *Union:
+		return deriveUnion(in[0], in[1])
+	case *GroupBy:
+		return deriveGroupBy(o, in[0])
+	}
+	panic(fmt.Sprintf("rel: unknown logical operator %T", op))
+}
+
+func deriveGet(cat *Catalog, g *Get) *Props {
+	t := g.Tab
+	p := &Props{
+		Cat:      cat,
+		Cols:     append([]ColID(nil), t.Columns...),
+		Rows:     float64(t.Rows),
+		RowBytes: t.RowBytes,
+		Tables:   1 << uint(t.Index),
+		Stats:    make(map[ColID]ColStat, len(t.Columns)),
+	}
+	width := t.RowBytes
+	if len(t.Columns) > 0 {
+		width = t.RowBytes / len(t.Columns)
+	}
+	for _, c := range t.Columns {
+		m := cat.Column(c)
+		p.Stats[c] = ColStat{Distinct: float64(m.Distinct), Min: m.Min, Max: m.Max, Width: width}
+	}
+	return p
+}
+
+// Selectivity estimates the fraction of rows satisfying a predicate
+// against an input with the given properties, using the System R
+// formulas: 1/distinct for equality with a constant, domain fractions
+// for ranges, and 1/max(d1,d2) for column equality.
+func Selectivity(pred Pred, in *Props) float64 {
+	if pred.IsParam() {
+		// Incompletely specified query: the constant binds at run
+		// time, so the estimate is an assumption.
+		if in.Cat != nil && in.Cat.ParamSelectivity > 0 {
+			return in.Cat.ParamSelectivity
+		}
+		return 1.0 / 3
+	}
+	ls, ok := in.Stats[pred.Col]
+	if !ok {
+		return 0.1
+	}
+	if pred.IsColCol() {
+		rs, ok := in.Stats[pred.OtherCol]
+		if !ok {
+			return 0.1
+		}
+		switch pred.Op {
+		case CmpEQ:
+			return 1 / maxf(ls.Distinct, rs.Distinct, 1)
+		case CmpNE:
+			return 1 - 1/maxf(ls.Distinct, rs.Distinct, 1)
+		default:
+			return 1.0 / 3
+		}
+	}
+	switch pred.Op {
+	case CmpEQ:
+		return 1 / maxf(ls.Distinct, 1, 1)
+	case CmpNE:
+		return 1 - 1/maxf(ls.Distinct, 1, 1)
+	default:
+		return rangeFraction(pred.Op, pred.Val, ls.Min, ls.Max)
+	}
+}
+
+// rangeFraction estimates the selectivity of a range comparison against
+// a uniform integer domain [min, max].
+func rangeFraction(op CmpOp, val, min, max int64) float64 {
+	if max <= min {
+		return 1.0 / 3 // unknown domain: System R default
+	}
+	span := float64(max - min)
+	var frac float64
+	switch op {
+	case CmpLT:
+		frac = float64(val-min) / span
+	case CmpLE:
+		frac = float64(val-min+1) / span
+	case CmpGT:
+		frac = float64(max-val) / span
+	case CmpGE:
+		frac = float64(max-val+1) / span
+	default:
+		frac = 1.0 / 3
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// ScalarSelectivity estimates the fraction of rows a column-constant
+// comparison keeps, given the column's statistics. It is the
+// selectivity formula behind Selectivity, exported so the choose-plan
+// operator can re-estimate at run time once a parameter is bound.
+func ScalarSelectivity(op CmpOp, val int64, st ColStat) float64 {
+	switch op {
+	case CmpEQ:
+		return 1 / maxf(st.Distinct, 1, 1)
+	case CmpNE:
+		return 1 - 1/maxf(st.Distinct, 1, 1)
+	default:
+		return rangeFraction(op, val, st.Min, st.Max)
+	}
+}
+
+func maxf(a, b, floor float64) float64 {
+	m := a
+	if b > m {
+		m = b
+	}
+	if m < floor {
+		m = floor
+	}
+	return m
+}
+
+func deriveSelect(s *Select, in *Props) *Props {
+	sel := Selectivity(s.Pred, in)
+	p := &Props{
+		Cat:      in.Cat,
+		Cols:     in.Cols,
+		Rows:     in.Rows * sel,
+		RowBytes: in.RowBytes,
+		Tables:   in.Tables,
+		Stats:    make(map[ColID]ColStat, len(in.Stats)),
+	}
+	for c, st := range in.Stats {
+		p.Stats[c] = st
+	}
+	// Equality with a known constant pins the column to one value.
+	if !s.Pred.IsColCol() && !s.Pred.IsParam() && s.Pred.Op == CmpEQ {
+		if st, ok := p.Stats[s.Pred.Col]; ok {
+			st.Distinct = 1
+			st.Min, st.Max = s.Pred.Val, s.Pred.Val
+			p.Stats[s.Pred.Col] = st
+		}
+	}
+	p.clampDistinct()
+	return p
+}
+
+func deriveJoin(j *Join, l, r *Props) *Props {
+	ls, lok := l.Stats[j.A]
+	rs, rok := r.Stats[j.B]
+	if !lok || !rok {
+		// The pair may sit the other way around relative to the
+		// canonicalized argument order.
+		ls, lok = l.Stats[j.B]
+		rs, rok = r.Stats[j.A]
+	}
+	sel := 0.1
+	if lok && rok {
+		sel = 1 / maxf(ls.Distinct, rs.Distinct, 1)
+	}
+	p := &Props{
+		Cat:      l.Cat,
+		Cols:     append(append([]ColID(nil), l.Cols...), r.Cols...),
+		Rows:     l.Rows * r.Rows * sel,
+		RowBytes: l.RowBytes + r.RowBytes,
+		Tables:   l.Tables | r.Tables,
+		Stats:    make(map[ColID]ColStat, len(l.Stats)+len(r.Stats)),
+	}
+	for c, st := range l.Stats {
+		p.Stats[c] = st
+	}
+	for c, st := range r.Stats {
+		p.Stats[c] = st
+	}
+	// The equated columns share the smaller distinct count after the join.
+	if lok && rok {
+		d := ls.Distinct
+		if rs.Distinct < d {
+			d = rs.Distinct
+		}
+		for _, c := range []ColID{j.A, j.B} {
+			if st, ok := p.Stats[c]; ok {
+				st.Distinct = d
+				p.Stats[c] = st
+			}
+		}
+	}
+	p.clampDistinct()
+	return p
+}
+
+func deriveProject(pr *Project, in *Props) *Props {
+	p := &Props{
+		Cat:    in.Cat,
+		Cols:   append([]ColID(nil), pr.Cols...),
+		Rows:   in.Rows,
+		Tables: in.Tables,
+		Stats:  make(map[ColID]ColStat, len(pr.Cols)),
+	}
+	for _, c := range pr.Cols {
+		st := in.Stats[c]
+		p.Stats[c] = st
+		p.RowBytes += st.Width
+	}
+	if p.RowBytes == 0 {
+		p.RowBytes = 8
+	}
+	p.clampDistinct()
+	return p
+}
+
+func deriveIntersect(l, r *Props) *Props {
+	rows := l.Rows
+	if r.Rows < rows {
+		rows = r.Rows
+	}
+	p := &Props{
+		Cat:      l.Cat,
+		Cols:     l.Cols,
+		Rows:     rows / 2, // heuristic: half the smaller input matches
+		RowBytes: l.RowBytes,
+		Tables:   l.Tables | r.Tables,
+		Stats:    make(map[ColID]ColStat, len(l.Stats)),
+	}
+	for c, st := range l.Stats {
+		p.Stats[c] = st
+	}
+	p.clampDistinct()
+	return p
+}
+
+func deriveUnion(l, r *Props) *Props {
+	overlap := l.Rows
+	if r.Rows < overlap {
+		overlap = r.Rows
+	}
+	p := &Props{
+		Cat:      l.Cat,
+		Cols:     l.Cols,
+		Rows:     l.Rows + r.Rows - overlap/2, // overlap estimate matches intersection's
+		RowBytes: l.RowBytes,
+		Tables:   l.Tables | r.Tables,
+		Stats:    make(map[ColID]ColStat, len(l.Stats)),
+	}
+	for c, st := range l.Stats {
+		p.Stats[c] = st
+	}
+	p.clampDistinct()
+	return p
+}
+
+func deriveGroupBy(g *GroupBy, in *Props) *Props {
+	groups := 1.0
+	for _, c := range g.GroupCols {
+		if st, ok := in.Stats[c]; ok {
+			groups *= maxf(st.Distinct, 1, 1)
+		}
+	}
+	if groups > in.Rows {
+		groups = in.Rows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	p := &Props{
+		Cat:    in.Cat,
+		Cols:   append([]ColID(nil), g.GroupCols...),
+		Rows:   groups,
+		Tables: in.Tables,
+		Stats:  make(map[ColID]ColStat, len(g.GroupCols)),
+	}
+	for _, c := range g.GroupCols {
+		st := in.Stats[c]
+		p.Stats[c] = st
+		p.RowBytes += st.Width
+	}
+	// Aggregate outputs are appended as 8-byte values; they carry no
+	// catalog columns of their own.
+	p.RowBytes += 8 * len(g.Aggs)
+	if p.RowBytes == 0 {
+		p.RowBytes = 8
+	}
+	p.clampDistinct()
+	return p
+}

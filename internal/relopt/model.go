@@ -1,0 +1,146 @@
+package relopt
+
+import (
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// Config selects the algorithm set and cost weights of the generated
+// optimizer. The zero value plus DefaultParams is the paper's Figure-4
+// configuration: operators get, select, and join; algorithms file scan,
+// filter, merge-join, and hybrid hash join; sort modeled as an enforcer;
+// all bushy plans permitted.
+type Config struct {
+	// Params are the cost-model weights.
+	Params Params
+	// EnableNLJoin adds block nested-loops join to the algorithm set.
+	EnableNLJoin bool
+	// NoCompositeInner restricts join algorithms to left-deep trees
+	// (no composite inner inputs), mirroring Starburst's structural
+	// search-space parameter. The logical space is unchanged; the
+	// restriction is imposed by implementation-rule condition code.
+	NoCompositeInner bool
+	// Parallel adds the exchange enforcer and partition-parallel
+	// algorithm variants.
+	Parallel bool
+	// Degree is the partition count used by the parallel model.
+	Degree int
+	// DisableFusedProject removes the project+join fused procedures,
+	// for the ablation that measures the value of multi-operator
+	// implementation rules.
+	DisableFusedProject bool
+	// SingleIntersectOrder restricts merge-intersect to the schema
+	// order instead of offering every shared sort order as an
+	// alternative input property combination — the ablation for the
+	// paper's multiple-alternatives feature.
+	SingleIntersectOrder bool
+	// NoSetReorder removes commutativity and associativity of
+	// INTERSECT and UNION, freezing the written order of N-way set
+	// operations — the Starburst-style heuristic treatment Section 5
+	// criticizes, kept as an ablation baseline.
+	NoSetReorder bool
+}
+
+// DefaultConfig returns the Figure-4 configuration.
+func DefaultConfig() Config {
+	return Config{Params: DefaultParams()}
+}
+
+// Model is the relational data model description handed to the search
+// engine: the operator sets, rules, enforcers, and ADT glue that the
+// optimizer generator would translate from a model specification. (The
+// repository's generator, internal/gen, emits exactly this wiring from
+// testdata/relational.model; this hand-maintained copy is the linked-in
+// equivalent.)
+type Model struct {
+	// Cat is the catalog queries are optimized against.
+	Cat *rel.Catalog
+	// Cfg is the model configuration.
+	Cfg Config
+
+	trules []*core.TransformRule
+	irules []*core.ImplRule
+	enfs   []*core.Enforcer
+}
+
+var _ core.Model = (*Model)(nil)
+
+// New builds the model for a catalog and configuration.
+func New(cat *rel.Catalog, cfg Config) *Model {
+	if cfg.Params.PageBytes == 0 {
+		cfg.Params = DefaultParams()
+	}
+	if cfg.Parallel && cfg.Degree < 2 {
+		cfg.Degree = 4
+	}
+	m := &Model{Cat: cat, Cfg: cfg}
+
+	m.trules = []*core.TransformRule{
+		joinCommute(),
+		joinAssoc(),
+		selectPushdown(),
+		selectCommute(),
+	}
+	if !cfg.NoSetReorder {
+		m.trules = append(m.trules,
+			setCommute("intersect-commute", rel.KindIntersect),
+			setAssoc("intersect-assoc", rel.KindIntersect),
+			setCommute("union-commute", rel.KindUnion),
+			setAssoc("union-assoc", rel.KindUnion),
+		)
+	}
+
+	m.irules = []*core.ImplRule{
+		m.fileScanRule(),
+		m.filterRule(),
+		m.projectRule(),
+		m.hashJoinRule(),
+		m.mergeJoinRule(),
+		m.mergeIntersectRule(),
+		m.hashIntersectRule(),
+		m.mergeUnionRule(),
+		m.hashUnionRule(),
+		m.sortGroupByRule(),
+		m.hashGroupByRule(),
+	}
+	if !cfg.DisableFusedProject {
+		m.irules = append(m.irules, m.fusedMergeJoinRule(), m.fusedHashJoinRule())
+	}
+	if cfg.EnableNLJoin {
+		m.irules = append(m.irules, m.nlJoinRule())
+	}
+
+	m.enfs = []*core.Enforcer{m.sortEnforcer()}
+	if cfg.Parallel {
+		m.enfs = append(m.enfs, m.exchangeEnforcer())
+	}
+	return m
+}
+
+// Name returns "relational".
+func (m *Model) Name() string { return "relational" }
+
+// DeriveLogicalProps derives schema, cardinality, and statistics; it is
+// the model's property function for every logical operator and
+// encapsulates selectivity estimation.
+func (m *Model) DeriveLogicalProps(op core.LogicalOp, inputs []core.LogicalProps) core.LogicalProps {
+	return rel.DeriveProps(m.Cat, op, inputs)
+}
+
+// TransformationRules returns the logical-algebra equivalences.
+func (m *Model) TransformationRules() []*core.TransformRule { return m.trules }
+
+// ImplementationRules returns the operator-to-algorithm mappings.
+func (m *Model) ImplementationRules() []*core.ImplRule { return m.irules }
+
+// Enforcers returns the property enforcers.
+func (m *Model) Enforcers() []*core.Enforcer { return m.enfs }
+
+// AnyProps returns the vacuous physical property vector.
+func (m *Model) AnyProps() core.PhysProps { return Any }
+
+// ZeroCost returns the additive identity of the cost ADT.
+func (m *Model) ZeroCost() core.Cost { return Cost{} }
+
+// InfiniteCost returns the unreachable cost.
+func (m *Model) InfiniteCost() core.Cost { return Infinite }

@@ -1,0 +1,300 @@
+package relopt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// FileScan reads a stored relation front to back. It is the
+// implementation algorithm for GET.
+type FileScan struct {
+	// Tab is the relation scanned.
+	Tab *rel.Table
+}
+
+// Name returns "filescan".
+func (f *FileScan) Name() string { return "filescan" }
+
+// String renders the operator with its relation.
+func (f *FileScan) String() string { return "filescan(" + f.Tab.Name + ")" }
+
+// Filter applies predicate conjuncts to a stream. It implements SELECT
+// and preserves its input's physical properties.
+type Filter struct {
+	// Preds are the conjuncts, all of which must hold.
+	Preds []rel.Pred
+}
+
+// Name returns "filter".
+func (f *Filter) Name() string { return "filter" }
+
+// String renders the operator with its conjuncts.
+func (f *Filter) String() string {
+	parts := make([]string, len(f.Preds))
+	for i, p := range f.Preds {
+		parts[i] = p.String()
+	}
+	return "filter(" + strings.Join(parts, " and ") + ")"
+}
+
+// ProjectOp narrows the schema to a column list.
+type ProjectOp struct {
+	// Cols is the output column list.
+	Cols []rel.ColID
+}
+
+// Name returns "project".
+func (p *ProjectOp) Name() string { return "project" }
+
+// String renders the operator with its columns.
+func (p *ProjectOp) String() string {
+	var b strings.Builder
+	b.WriteString("project(")
+	for i, c := range p.Cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// MergeJoin joins two streams sorted on the join columns. When Proj is
+// non-nil the join procedure also applies a projection — the paper's
+// example of mapping multiple logical operators (join followed by
+// projection without duplicate removal) to a single physical operator.
+type MergeJoin struct {
+	// LeftCol and RightCol are the side-resolved equated columns.
+	LeftCol, RightCol rel.ColID
+	// Proj, when non-nil, is the fused projection's output columns.
+	Proj []rel.ColID
+}
+
+// Name returns "merge-join".
+func (m *MergeJoin) Name() string { return "merge-join" }
+
+// String renders the operator with its predicate.
+func (m *MergeJoin) String() string {
+	s := fmt.Sprintf("merge-join(c%d=c%d", m.LeftCol, m.RightCol)
+	if m.Proj != nil {
+		s += ";proj"
+	}
+	return s + ")"
+}
+
+// HashJoin is hybrid hash join: the left input builds, the right input
+// probes, proceeding without partition files as in the paper's setup.
+type HashJoin struct {
+	// LeftCol and RightCol are the side-resolved equated columns.
+	LeftCol, RightCol rel.ColID
+	// Proj, when non-nil, is the fused projection's output columns.
+	Proj []rel.ColID
+}
+
+// Name returns "hybrid-hash-join".
+func (h *HashJoin) Name() string { return "hybrid-hash-join" }
+
+// String renders the operator with its predicate.
+func (h *HashJoin) String() string {
+	s := fmt.Sprintf("hybrid-hash-join(c%d=c%d", h.LeftCol, h.RightCol)
+	if h.Proj != nil {
+		s += ";proj"
+	}
+	return s + ")"
+}
+
+// NLJoin is block nested-loops join, usable for any join predicate. It
+// is disabled in the Figure-4 configuration, which uses the paper's
+// algorithm set exactly.
+type NLJoin struct {
+	// LeftCol and RightCol are the side-resolved equated columns.
+	LeftCol, RightCol rel.ColID
+}
+
+// Name returns "nl-join".
+func (n *NLJoin) Name() string { return "nl-join" }
+
+// String renders the operator with its predicate.
+func (n *NLJoin) String() string {
+	return fmt.Sprintf("nl-join(c%d=c%d)", n.LeftCol, n.RightCol)
+}
+
+// Sort is the sort enforcer: it performs no logical data manipulation
+// but establishes a sort order required by subsequent algorithms.
+type Sort struct {
+	// Order is the produced sort order.
+	Order []OrderCol
+}
+
+// Name returns "sort".
+func (s *Sort) Name() string { return "sort" }
+
+// String renders the enforcer with its order.
+func (s *Sort) String() string {
+	var b strings.Builder
+	b.WriteString("sort(")
+	for i, c := range s.Order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c.Col)
+		if c.Desc {
+			b.WriteString(" desc")
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// MergeIntersect intersects two streams sorted identically on all
+// columns; any shared order qualifies, which is why its implementation
+// rule returns multiple alternative input property combinations.
+type MergeIntersect struct {
+	// Order is the shared sort order of both inputs.
+	Order []OrderCol
+}
+
+// Name returns "merge-intersect".
+func (m *MergeIntersect) Name() string { return "merge-intersect" }
+
+// String renders the operator with its order.
+func (m *MergeIntersect) String() string {
+	var b strings.Builder
+	b.WriteString("merge-intersect(")
+	for i, c := range m.Order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c.Col)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// MergeUnion unions two streams sorted identically on all columns,
+// eliminating duplicates on the fly and preserving the shared order.
+type MergeUnion struct {
+	// Order is the shared sort order of both inputs.
+	Order []OrderCol
+}
+
+// Name returns "merge-union".
+func (m *MergeUnion) Name() string { return "merge-union" }
+
+// String renders the operator with its order.
+func (m *MergeUnion) String() string {
+	var b strings.Builder
+	b.WriteString("merge-union(")
+	for i, c := range m.Order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c.Col)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// HashUnion unions two streams via a hash set; no input order is
+// required or delivered.
+type HashUnion struct{}
+
+// Name returns "hash-union".
+func (*HashUnion) Name() string { return "hash-union" }
+
+// String returns "hash-union".
+func (*HashUnion) String() string { return "hash-union" }
+
+// HashIntersect intersects two streams via a hash table; no input order
+// is required.
+type HashIntersect struct{}
+
+// Name returns "hash-intersect".
+func (*HashIntersect) Name() string { return "hash-intersect" }
+
+// String returns "hash-intersect".
+func (*HashIntersect) String() string { return "hash-intersect" }
+
+// SortGroupBy groups a stream already sorted on the grouping columns.
+type SortGroupBy struct {
+	// GroupCols are the grouping columns.
+	GroupCols []rel.ColID
+	// Aggs are the aggregates computed per group.
+	Aggs []rel.Agg
+}
+
+// Name returns "sort-groupby".
+func (s *SortGroupBy) Name() string { return "sort-groupby" }
+
+// String renders the operator.
+func (s *SortGroupBy) String() string { return groupByString("sort-groupby", s.GroupCols, s.Aggs) }
+
+// HashGroupBy groups an unordered stream via a hash table.
+type HashGroupBy struct {
+	// GroupCols are the grouping columns.
+	GroupCols []rel.ColID
+	// Aggs are the aggregates computed per group.
+	Aggs []rel.Agg
+}
+
+// Name returns "hash-groupby".
+func (h *HashGroupBy) Name() string { return "hash-groupby" }
+
+// String renders the operator.
+func (h *HashGroupBy) String() string { return groupByString("hash-groupby", h.GroupCols, h.Aggs) }
+
+func groupByString(name string, cols []rel.ColID, aggs []rel.Agg) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('(')
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "c%d", c)
+	}
+	for _, a := range aggs {
+		fmt.Fprintf(&b, ";%s(c%d)", a.Fn, a.Col)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Exchange is the partitioning enforcer of the parallel model: Volcano's
+// network and parallelism operator. It repartitions its input across
+// Degree streams by hashing Col — enforcing the partitioning property
+// while destroying any sort order, the paper's example of an enforcer
+// that ensures one property but destroys another.
+type Exchange struct {
+	// Part is the partitioning established.
+	Part Partitioning
+}
+
+// Name returns "exchange".
+func (e *Exchange) Name() string { return "exchange" }
+
+// String renders the enforcer with its partitioning.
+func (e *Exchange) String() string {
+	return fmt.Sprintf("exchange(hash c%d x%d)", e.Part.Col, e.Part.Degree)
+}
+
+var (
+	_ core.PhysicalOp = (*FileScan)(nil)
+	_ core.PhysicalOp = (*Filter)(nil)
+	_ core.PhysicalOp = (*ProjectOp)(nil)
+	_ core.PhysicalOp = (*MergeJoin)(nil)
+	_ core.PhysicalOp = (*HashJoin)(nil)
+	_ core.PhysicalOp = (*NLJoin)(nil)
+	_ core.PhysicalOp = (*Sort)(nil)
+	_ core.PhysicalOp = (*MergeIntersect)(nil)
+	_ core.PhysicalOp = (*HashIntersect)(nil)
+	_ core.PhysicalOp = (*MergeUnion)(nil)
+	_ core.PhysicalOp = (*HashUnion)(nil)
+	_ core.PhysicalOp = (*SortGroupBy)(nil)
+	_ core.PhysicalOp = (*HashGroupBy)(nil)
+	_ core.PhysicalOp = (*Exchange)(nil)
+)

@@ -1,0 +1,176 @@
+// Package relopt is the optimizer the Volcano optimizer generator
+// produces for the relational model in internal/rel: transformation
+// rules within the logical algebra, implementation rules mapping
+// operators to algorithms, enforcers, and the cost and physical property
+// ADTs. Linked with the search engine in internal/core it forms a
+// complete query optimizer — the one the paper's Figure 4 experiment
+// exercises (operators get, select, join; algorithms file scan, filter,
+// sort, merge-join, hybrid hash join; sorting modeled as an enforcer).
+package relopt
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// OrderCol is one column of a sort order.
+type OrderCol struct {
+	// Col is the ordering column.
+	Col rel.ColID
+	// Desc selects descending order.
+	Desc bool
+}
+
+// PartKind distinguishes partitioning requirements in the parallel
+// model.
+type PartKind int8
+
+// Partitioning kinds.
+const (
+	// PartNone means no partitioning requirement: a serial stream.
+	PartNone PartKind = iota
+	// PartHash requires hash partitioning on a column list.
+	PartHash
+)
+
+// Partitioning is the data-placement component of the physical property
+// vector, used by the parallel model; exchange is its enforcer.
+type Partitioning struct {
+	// Kind is the partitioning discipline.
+	Kind PartKind
+	// Col is the partitioning column for PartHash.
+	Col rel.ColID
+	// Degree is the number of partitions.
+	Degree int
+}
+
+// PhysProps is the physical property vector of the relational model:
+// sort order plus partitioning. It is an abstract data type to the
+// search engine, which touches it only through Equal, Covers, and Hash.
+type PhysProps struct {
+	// Sort is the required or delivered sort order; empty means none.
+	Sort []OrderCol
+	// Part is the partitioning; the zero value means none.
+	Part Partitioning
+}
+
+var _ core.PhysProps = (*PhysProps)(nil)
+
+// Any is the vacuous property vector.
+var Any = &PhysProps{}
+
+// SortedOn builds a single-column ascending sort requirement.
+func SortedOn(cols ...rel.ColID) *PhysProps {
+	order := make([]OrderCol, len(cols))
+	for i, c := range cols {
+		order[i] = OrderCol{Col: c}
+	}
+	return &PhysProps{Sort: order}
+}
+
+// HashPartitioned builds a hash-partitioning requirement.
+func HashPartitioned(col rel.ColID, degree int) *PhysProps {
+	return &PhysProps{Part: Partitioning{Kind: PartHash, Col: col, Degree: degree}}
+}
+
+// WithPart returns a copy of p with the given partitioning.
+func (p *PhysProps) WithPart(part Partitioning) *PhysProps {
+	return &PhysProps{Sort: p.Sort, Part: part}
+}
+
+// WithoutSort returns a copy of p with no sort requirement.
+func (p *PhysProps) WithoutSort() *PhysProps { return &PhysProps{Part: p.Part} }
+
+// WithoutPart returns a copy of p with no partitioning requirement.
+func (p *PhysProps) WithoutPart() *PhysProps { return &PhysProps{Sort: p.Sort} }
+
+// IsAny reports whether the vector carries no requirement at all.
+func (p *PhysProps) IsAny() bool { return len(p.Sort) == 0 && p.Part.Kind == PartNone }
+
+// Equal reports exact equality of the vectors.
+func (p *PhysProps) Equal(other core.PhysProps) bool {
+	o := other.(*PhysProps)
+	if len(p.Sort) != len(o.Sort) || p.Part != o.Part {
+		return false
+	}
+	for i, c := range p.Sort {
+		if c != o.Sort[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether a result with the receiver's properties
+// satisfies a request for other: the requested sort order must be a
+// prefix of the delivered one, and the partitioning must match (a serial
+// result satisfies only a serial request).
+func (p *PhysProps) Covers(other core.PhysProps) bool {
+	o := other.(*PhysProps)
+	if len(o.Sort) > len(p.Sort) {
+		return false
+	}
+	for i, c := range o.Sort {
+		if p.Sort[i] != c {
+			return false
+		}
+	}
+	if o.Part.Kind == PartNone {
+		return p.Part.Kind == PartNone
+	}
+	return p.Part == o.Part
+}
+
+// Hash returns a hash consistent with Equal.
+func (p *PhysProps) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, c := range p.Sort {
+		mix(uint64(uint32(c.Col)))
+		if c.Desc {
+			mix(1)
+		}
+	}
+	mix(uint64(uint8(p.Part.Kind)))
+	mix(uint64(uint32(p.Part.Col)))
+	mix(uint64(uint32(p.Part.Degree)))
+	return h
+}
+
+// String renders the vector, e.g. "sort(c3,c7) hash(c3)x4"; the vacuous
+// vector renders as "".
+func (p *PhysProps) String() string {
+	var b strings.Builder
+	if len(p.Sort) > 0 {
+		b.WriteString("sort(")
+		for i, c := range p.Sort {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(colName(c.Col))
+			if c.Desc {
+				b.WriteString(" desc")
+			}
+		}
+		b.WriteByte(')')
+	}
+	if p.Part.Kind == PartHash {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString("hash(")
+		b.WriteString(colName(p.Part.Col))
+		b.WriteByte(')')
+		b.WriteByte('x')
+		b.WriteString(strconv.Itoa(p.Part.Degree))
+	}
+	return b.String()
+}
+
+func colName(c rel.ColID) string { return "c" + strconv.Itoa(int(c)) }

@@ -1,0 +1,104 @@
+// Package sqlish parses a small SQL-like query language into the
+// relational logical algebra of internal/rel, producing the expression
+// tree and required physical property vector that a generated optimizer
+// consumes. The dialect covers exactly what the examples and experiments
+// need:
+//
+//	SELECT * | col[, col...] | agg(col)[, ...]
+//	FROM table[, table...]
+//	[WHERE pred [AND pred...]]
+//	[GROUP BY col[, col...]]
+//	[ORDER BY col [DESC]]
+//	[INTERSECT SELECT ...]
+//
+// Predicates compare a column with an integer constant or with another
+// column; equality predicates across tables become joins.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , . * = < > <= >= <>
+	tokKeyword
+	tokParam // $1, $2, ... — runtime parameters
+)
+
+// keywords of the dialect, uppercase.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "BY": true, "ORDER": true, "DESC": true, "ASC": true,
+	"INTERSECT": true, "UNION": true, "DISTINCT": true, "COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+}
+
+// token is one lexed unit.
+type token struct {
+	kind tokKind
+	text string // keywords uppercased; symbols verbatim
+	pos  int
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) ||
+				unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '$':
+			start := i
+			i++
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			if i == start+1 {
+				return nil, fmt.Errorf("sqlish: bare $ at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokParam, text: input[start+1 : i], pos: start})
+		case strings.ContainsRune("(),.*=", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '<' || c == '>':
+			start := i
+			i++
+			if i < len(input) && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokSymbol, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("sqlish: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}

@@ -1,0 +1,292 @@
+package sqlish
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ast types for one SELECT block.
+
+// selectItem is one output column or aggregate.
+type selectItem struct {
+	star  bool
+	agg   string // "", "COUNT", "SUM", "MIN", "MAX"
+	table string // optional qualifier
+	col   string // empty for COUNT(*)
+}
+
+// condition is one WHERE conjunct.
+type condition struct {
+	leftTable, leftCol   string
+	op                   string
+	rightTable, rightCol string // column RHS when rightCol != ""
+	value                int64  // constant RHS otherwise
+	param                int    // 1-based runtime parameter index, 0 if none
+}
+
+// selectStmt is one parsed SELECT block.
+type selectStmt struct {
+	distinct bool
+	items    []selectItem
+	tables   []string
+	where    []condition
+	groupBy  [][2]string // (table, col)
+	orderBy  []orderItem
+}
+
+type orderItem struct {
+	table, col string
+	desc       bool
+}
+
+// query is a SELECT, optionally combined with another by a set
+// operation.
+type query struct {
+	left  *selectStmt
+	setOp string      // "INTERSECT" or "UNION" when right is set
+	right *selectStmt // non-nil for a set operation
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlish: expected %s at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(s string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sqlish: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokKeyword && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseQuery parses the whole statement.
+func parseQuery(toks []token) (*query, error) {
+	p := &parser{toks: toks}
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q := &query{left: left}
+	for _, op := range []string{"INTERSECT", "UNION"} {
+		if p.acceptKeyword(op) {
+			right, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			q.setOp = op
+			q.right = right
+			break
+		}
+	}
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sqlish: trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &selectStmt{}
+	s.distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.items = append(s.items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sqlish: expected table name at offset %d", t.pos)
+		}
+		s.tables = append(s.tables, t.text)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			s.where = append(s.where, cond)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			tb, col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			s.groupBy = append(s.groupBy, [2]string{tb, col})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			tb, col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := orderItem{table: tb, col: col}
+			if p.acceptKeyword("DESC") {
+				item.desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.orderBy = append(s.orderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "*" {
+		p.pos++
+		return selectItem{star: true}, nil
+	}
+	if t.kind == tokKeyword && (t.text == "COUNT" || t.text == "SUM" || t.text == "MIN" || t.text == "MAX") {
+		p.pos++
+		if err := p.expectSymbol("("); err != nil {
+			return selectItem{}, err
+		}
+		item := selectItem{agg: t.text}
+		if p.acceptSymbol("*") {
+			if t.text != "COUNT" {
+				return selectItem{}, fmt.Errorf("sqlish: %s(*) is not supported", t.text)
+			}
+		} else {
+			tb, col, err := p.parseColumnRef()
+			if err != nil {
+				return selectItem{}, err
+			}
+			item.table, item.col = tb, col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return selectItem{}, err
+		}
+		return item, nil
+	}
+	tb, col, err := p.parseColumnRef()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{table: tb, col: col}, nil
+}
+
+// parseColumnRef parses "col" or "table.col".
+func (p *parser) parseColumnRef() (table, col string, err error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", "", fmt.Errorf("sqlish: expected column at offset %d, got %q", t.pos, t.text)
+	}
+	if p.acceptSymbol(".") {
+		c := p.next()
+		if c.kind != tokIdent {
+			return "", "", fmt.Errorf("sqlish: expected column after %q. at offset %d", t.text, c.pos)
+		}
+		return t.text, c.text, nil
+	}
+	return "", t.text, nil
+}
+
+func (p *parser) parseCondition() (condition, error) {
+	lt, lc, err := p.parseColumnRef()
+	if err != nil {
+		return condition{}, err
+	}
+	op := p.next()
+	if op.kind != tokSymbol || !validCmp(op.text) {
+		return condition{}, fmt.Errorf("sqlish: expected comparison at offset %d, got %q", op.pos, op.text)
+	}
+	cond := condition{leftTable: lt, leftCol: lc, op: op.text}
+	rhs := p.peek()
+	switch rhs.kind {
+	case tokNumber:
+		p.pos++
+		v, err := strconv.ParseInt(rhs.text, 10, 64)
+		if err != nil {
+			return condition{}, fmt.Errorf("sqlish: bad number %q", rhs.text)
+		}
+		cond.value = v
+	case tokParam:
+		p.pos++
+		n, err := strconv.Atoi(rhs.text)
+		if err != nil || n < 1 {
+			return condition{}, fmt.Errorf("sqlish: bad parameter $%s", rhs.text)
+		}
+		cond.param = n
+	case tokIdent:
+		rt, rc, err := p.parseColumnRef()
+		if err != nil {
+			return condition{}, err
+		}
+		cond.rightTable, cond.rightCol = rt, rc
+	default:
+		return condition{}, fmt.Errorf("sqlish: expected constant or column at offset %d", rhs.pos)
+	}
+	return cond, nil
+}
+
+func validCmp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}

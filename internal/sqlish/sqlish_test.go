@@ -1,0 +1,246 @@
+package sqlish_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+)
+
+// fixture: emp(id,dept,age), dept(id,head) with data.
+func fixture(t *testing.T) (*rel.Catalog, *exec.DB) {
+	t.Helper()
+	cat := rel.NewCatalog()
+	emp := cat.AddTable("emp", 60, 100)
+	cat.AddColumn(emp, "id", 60, 1, 60)
+	cat.AddColumn(emp, "dept", 10, 1, 10)
+	cat.AddColumn(emp, "age", 40, 20, 59)
+	dept := cat.AddTable("dept", 10, 100)
+	cat.AddColumn(dept, "id", 10, 1, 10)
+	cat.AddColumn(dept, "head", 10, 1, 10)
+	s := datagen.New(5)
+	return cat, exec.FromData(cat, s.Rows(cat))
+}
+
+func mustParse(t *testing.T, cat *rel.Catalog, sql string) *sqlish.Statement {
+	t.Helper()
+	st, err := sqlish.Parse(cat, sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+// runSQL optimizes and executes a statement.
+func runSQL(t *testing.T, cat *rel.Catalog, db *exec.DB, sql string) ([]exec.Row, *exec.Schema, *core.Plan) {
+	t.Helper()
+	st := mustParse(t, cat, sql)
+	model := relopt.New(cat, relopt.DefaultConfig())
+	opt := core.NewOptimizer(model, nil)
+	root := opt.InsertQuery(st.Tree)
+	var required core.PhysProps
+	if st.Required != nil {
+		required = st.Required
+	}
+	plan, err := opt.Optimize(root, required)
+	if err != nil {
+		t.Fatalf("optimize %q: %v", sql, err)
+	}
+	rows, schema, err := exec.Run(db, plan)
+	if err != nil {
+		t.Fatalf("run %q: %v", sql, err)
+	}
+	return rows, schema, plan
+}
+
+func TestSelectStar(t *testing.T) {
+	cat, db := fixture(t)
+	rows, schema, _ := runSQL(t, cat, db, "SELECT * FROM emp")
+	if len(rows) != 60 || schema.Width() != 3 {
+		t.Fatalf("rows=%d width=%d, want 60x3", len(rows), schema.Width())
+	}
+}
+
+func TestWhereFilter(t *testing.T) {
+	cat, db := fixture(t)
+	rows, schema, _ := runSQL(t, cat, db, "SELECT id FROM emp WHERE age >= 40")
+	agePos := -1
+	_ = agePos
+	if schema.Width() != 1 {
+		t.Fatalf("width=%d, want 1", schema.Width())
+	}
+	all, _, _ := runSQL(t, cat, db, "SELECT id FROM emp")
+	if len(rows) == 0 || len(rows) >= len(all) {
+		t.Fatalf("filter returned %d of %d rows", len(rows), len(all))
+	}
+}
+
+func TestJoinWithOrderBy(t *testing.T) {
+	cat, db := fixture(t)
+	sql := "SELECT emp.id, emp.dept, dept.head FROM emp, dept WHERE emp.dept = dept.id ORDER BY emp.dept"
+	rows, schema, plan := runSQL(t, cat, db, sql)
+	if len(rows) == 0 {
+		t.Fatal("join returned no rows")
+	}
+	deptCol := cat.ColumnID("emp", "dept")
+	if !exec.SortedBy(rows, []int{schema.Pos(deptCol)}) {
+		t.Fatalf("not sorted by emp.dept:\n%s", plan.Format())
+	}
+	if !plan.Delivered.Covers(relopt.SortedOn(deptCol)) {
+		t.Fatal("plan does not deliver the requested order")
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	cat, db := fixture(t)
+	rows, schema, _ := runSQL(t, cat, db,
+		"SELECT dept, COUNT(*), MIN(age), MAX(age), SUM(age) FROM emp GROUP BY dept")
+	if schema.Width() != 5 {
+		t.Fatalf("width=%d, want 5", schema.Width())
+	}
+	var total int64
+	for _, r := range rows {
+		total += r[1]
+		if r[2] > r[3] {
+			t.Fatalf("min %d > max %d", r[2], r[3])
+		}
+	}
+	if total != 60 {
+		t.Fatalf("counts sum to %d, want 60", total)
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	cat, db := fixture(t)
+	rows, _, _ := runSQL(t, cat, db, "SELECT COUNT(*) FROM emp")
+	if len(rows) != 1 || rows[0][0] != 60 {
+		t.Fatalf("rows=%v, want one row [60]", rows)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cat, db := fixture(t)
+	sql := "SELECT id FROM emp WHERE age < 45 INTERSECT SELECT id FROM emp WHERE age > 30"
+	rows, _, _ := runSQL(t, cat, db, sql)
+	both, _, _ := runSQL(t, cat, db, "SELECT id FROM emp WHERE age < 45 AND age > 30")
+	if exec.Fingerprint(rows) != exec.Fingerprint(both) {
+		t.Fatalf("intersect %d rows != conjunction %d rows", len(rows), len(both))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat, _ := fixture(t)
+	for _, sql := range []string{
+		"",
+		"SELECT",
+		"SELECT * FROM nosuch",
+		"SELECT nosuch FROM emp",
+		"SELECT id FROM emp, dept", // cartesian product
+		"SELECT id FROM emp WHERE",
+		"SELECT id FROM emp ORDER BY head", // not in output
+		"SELECT age FROM emp GROUP BY dept",
+		"SELECT id FROM emp WHERE age ! 3",
+		"SELECT SUM(*) FROM emp",
+		"SELECT id FROM emp INTERSECT SELECT id, age FROM emp",
+		"SELECT id FROM emp trailing",
+	} {
+		if _, err := sqlish.Parse(cat, sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat, _ := fixture(t)
+	_, err := sqlish.Parse(cat, "SELECT id FROM emp, dept WHERE emp.dept = dept.id")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("err = %v, want ambiguous column", err)
+	}
+}
+
+func TestRedundantJoinPredicateBecomesFilter(t *testing.T) {
+	cat, db := fixture(t)
+	// Second equality between the same tables becomes a residual filter.
+	sql := "SELECT emp.id FROM emp, dept WHERE emp.dept = dept.id AND emp.dept = dept.head"
+	rows, _, _ := runSQL(t, cat, db, sql)
+	st := mustParse(t, cat, sql)
+	ref, refSchema, err := exec.Reference(db, st.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = refSchema
+	if len(rows) != len(ref) {
+		t.Fatalf("rows=%d, reference=%d", len(rows), len(ref))
+	}
+}
+
+func TestOrderByMultipleColumns(t *testing.T) {
+	cat, db := fixture(t)
+	sql := "SELECT dept, age, id FROM emp ORDER BY dept, age DESC"
+	rows, schema, plan := runSQL(t, cat, db, sql)
+	if len(rows) != 60 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	deptPos := schema.Pos(cat.ColumnID("emp", "dept"))
+	agePos := schema.Pos(cat.ColumnID("emp", "age"))
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a[deptPos] > b[deptPos] {
+			t.Fatalf("not sorted by dept:\n%s", plan.Format())
+		}
+		if a[deptPos] == b[deptPos] && a[agePos] < b[agePos] {
+			t.Fatalf("ties not sorted by age desc:\n%s", plan.Format())
+		}
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	cat, db := fixture(t)
+	rows, _, plan := runSQL(t, cat, db, "SELECT DISTINCT dept FROM emp ORDER BY dept")
+	if len(rows) == 0 || len(rows) > 10 {
+		t.Fatalf("distinct depts = %d, want 1..10", len(rows))
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0]] {
+			t.Fatalf("duplicate value %d in DISTINCT output:\n%s", r[0], plan.Format())
+		}
+		seen[r[0]] = true
+	}
+	if !exec.SortedBy(rows, []int{0}) {
+		t.Fatal("DISTINCT ... ORDER BY not sorted")
+	}
+	if _, err := sqlish.Parse(cat, "SELECT DISTINCT * FROM emp"); err == nil {
+		t.Fatal("DISTINCT * accepted")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	cat, db := fixture(t)
+	sql := "SELECT id FROM emp WHERE age < 30 UNION SELECT id FROM emp WHERE age > 50 ORDER BY id"
+	rows, schema, plan := runSQL(t, cat, db, sql)
+	st := mustParse(t, cat, sql)
+	want, _, err := exec.Reference(db, st.Tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Fingerprint(rows) != exec.Fingerprint(want) {
+		t.Fatalf("union %d rows != reference %d rows\n%s", len(rows), len(want), plan.Format())
+	}
+	if !exec.SortedBy(rows, []int{schema.Pos(cat.ColumnID("emp", "id"))}) {
+		t.Fatalf("UNION ... ORDER BY not sorted:\n%s", plan.Format())
+	}
+	// No duplicates (set semantics).
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0]] {
+			t.Fatal("duplicate in UNION output")
+		}
+		seen[r[0]] = true
+	}
+}

@@ -1,0 +1,119 @@
+package vdb
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// OpenDir assembles a database from a directory of CSV files: one
+// `<table>.csv` per relation, first line naming the columns, integer
+// values throughout. Statistics (cardinality, distinct counts, domains)
+// are gathered while loading, so the optimizer sees accurate numbers
+// without a separate ANALYZE step.
+//
+//	emp.csv:  id,dept,age
+//	          1,3,41
+//	          ...
+func OpenDir(dir string, opts *Options) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	cat := rel.NewCatalog()
+	data := make(map[string][][]int64)
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		rows, cols, err := readCSV(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("vdb: %s: %w", e.Name(), err)
+		}
+		registerTable(cat, name, cols, rows)
+		data[name] = rows
+		loaded++
+	}
+	if loaded == 0 {
+		return nil, fmt.Errorf("vdb: no .csv files in %s", dir)
+	}
+	return Open(cat, data, opts), nil
+}
+
+// readCSV parses one table file into integer rows.
+func readCSV(path string) (rows [][]int64, cols []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	header, err := r.Read()
+	if err != nil {
+		return nil, nil, fmt.Errorf("missing header: %w", err)
+	}
+	cols = make([]string, len(header))
+	for i, h := range header {
+		cols[i] = strings.TrimSpace(h)
+		if cols[i] == "" {
+			return nil, nil, fmt.Errorf("empty column name at position %d", i+1)
+		}
+	}
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return rows, cols, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		line++
+		if len(rec) != len(cols) {
+			return nil, nil, fmt.Errorf("line %d: %d fields, want %d", line, len(rec), len(cols))
+		}
+		row := make([]int64, len(rec))
+		for i, field := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d, column %s: %w", line, cols[i], err)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+}
+
+// registerTable adds the table to the catalog with statistics gathered
+// from its rows.
+func registerTable(cat *rel.Catalog, name string, cols []string, rows [][]int64) {
+	t := cat.AddTable(name, int64(len(rows)), 8*len(cols))
+	for i, col := range cols {
+		distinct := make(map[int64]bool)
+		min, max := int64(0), int64(0)
+		for r, row := range rows {
+			v := row[i]
+			distinct[v] = true
+			if r == 0 || v < min {
+				min = v
+			}
+			if r == 0 || v > max {
+				max = v
+			}
+		}
+		d := int64(len(distinct))
+		if d == 0 {
+			d = 1
+		}
+		cat.AddColumn(t, col, d, min, max)
+	}
+}

@@ -1,0 +1,77 @@
+package vdb_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vdb"
+)
+
+func writeCSV(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDir(t *testing.T) {
+	dir := t.TempDir()
+	writeCSV(t, dir, "emp.csv", "id,dept,age\n1,1,30\n2,2,45\n3,1,52\n4,2,28\n")
+	writeCSV(t, dir, "dept.csv", "id,budget\n1,100\n2,200\n")
+	writeCSV(t, dir, "notes.txt", "ignored")
+
+	db, err := vdb.OpenDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Statistics gathered at load time.
+	emp := db.Catalog().Table("emp")
+	if emp == nil || emp.Rows != 4 {
+		t.Fatalf("emp = %+v", emp)
+	}
+	deptCol := db.Catalog().ColumnID("emp", "dept")
+	if m := db.Catalog().Column(deptCol); m.Distinct != 2 || m.Min != 1 || m.Max != 2 {
+		t.Fatalf("dept stats = %+v", m)
+	}
+
+	res, err := db.Query("SELECT emp.id, dept.budget FROM emp, dept WHERE emp.dept = dept.id AND emp.age > 40 ORDER BY emp.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0] != 2 || res.Rows[1][0] != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][1] != 200 || res.Rows[1][1] != 100 {
+		t.Fatalf("budgets = %v", res.Rows)
+	}
+}
+
+func TestOpenDirErrors(t *testing.T) {
+	empty := t.TempDir()
+	if _, err := vdb.OpenDir(empty, nil); err == nil {
+		t.Error("empty directory accepted")
+	}
+
+	bad := t.TempDir()
+	writeCSV(t, bad, "t.csv", "a,b\n1,notanumber\n")
+	if _, err := vdb.OpenDir(bad, nil); err == nil {
+		t.Error("non-integer field accepted")
+	}
+
+	ragged := t.TempDir()
+	writeCSV(t, ragged, "t.csv", "a,b\n1\n")
+	if _, err := vdb.OpenDir(ragged, nil); err == nil {
+		t.Error("ragged row accepted")
+	}
+
+	if _, err := vdb.OpenDir(filepath.Join(empty, "nosuch"), nil); err == nil {
+		t.Error("missing directory accepted")
+	}
+
+	noheader := t.TempDir()
+	writeCSV(t, noheader, "t.csv", "")
+	if _, err := vdb.OpenDir(noheader, nil); err == nil {
+		t.Error("empty file accepted")
+	}
+}

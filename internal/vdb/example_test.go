@@ -1,0 +1,61 @@
+package vdb_test
+
+import (
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/vdb"
+)
+
+// Example shows the shortest path from a schema to optimized, executed
+// SQL: declare tables and statistics, load rows, query.
+func Example() {
+	cat := rel.NewCatalog()
+	emp := cat.AddTable("emp", 4, 100)
+	cat.AddColumn(emp, "id", 4, 1, 4)
+	cat.AddColumn(emp, "dept", 2, 1, 2)
+
+	db := vdb.Open(cat, map[string][][]int64{
+		"emp": {{1, 1}, {2, 2}, {3, 1}, {4, 2}},
+	}, nil)
+
+	res, err := db.Query("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("dept %d: %d employees\n", row[0], row[1])
+	}
+	// Output:
+	// dept 1: 2 employees
+	// dept 2: 2 employees
+}
+
+// ExampleDB_Prepare shows dynamic plans: a parameterized statement is
+// optimized once per selectivity region; the bound value picks the
+// alternative at execution.
+func ExampleDB_Prepare() {
+	cat := rel.NewCatalog()
+	emp := cat.AddTable("emp", 4, 100)
+	cat.AddColumn(emp, "id", 4, 1, 4)
+	cat.AddColumn(emp, "age", 4, 20, 50)
+
+	db := vdb.Open(cat, map[string][][]int64{
+		"emp": {{1, 25}, {2, 35}, {3, 45}, {4, 50}},
+	}, nil)
+
+	stmt, err := db.Prepare("SELECT id FROM emp WHERE age < $1")
+	if err != nil {
+		panic(err)
+	}
+	for _, bound := range []int64{30, 50} {
+		res, err := stmt.Exec(bound)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("age < %d: %d rows\n", bound, len(res.Rows))
+	}
+	// Output:
+	// age < 30: 1 rows
+	// age < 50: 3 rows
+}

@@ -1,0 +1,218 @@
+// Package vdb is the batteries-included façade over the repository's
+// pieces: a catalog, a Volcano-generated optimizer, and the iterator
+// execution engine behind a single query interface. It is what a
+// downstream user adopts when they want "the database", not the
+// optimizer-construction toolkit.
+//
+//	db := vdb.Open(catalog, data, nil)
+//	res, err := db.Query("SELECT e.id FROM emp e ... ORDER BY ...")
+//	res, err := db.QueryParams("SELECT ... WHERE v < $1", 42)
+package vdb
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+)
+
+// Options tune a database instance.
+type Options struct {
+	// Config is the optimizer model configuration; the zero value is
+	// completed with defaults.
+	Config relopt.Config
+	// Search tunes the search engine (ablation toggles, tracing).
+	Search core.Options
+	// DynamicBuckets, when non-empty, makes Prepare of parameterized
+	// queries produce dynamic plans over these selectivity
+	// assumptions; nil uses the built-in buckets.
+	DynamicBuckets []float64
+}
+
+// DB is one database instance: schema, statistics, data, and the
+// optimizer generated for them.
+type DB struct {
+	cat  *rel.Catalog
+	data *exec.DB
+	opts Options
+}
+
+// Open assembles a database from a catalog and table contents (rows
+// aligned with each table's column order, as produced by datagen.Rows).
+func Open(cat *rel.Catalog, data map[string][][]int64, opts *Options) *DB {
+	db := &DB{cat: cat, data: exec.FromData(cat, data)}
+	if opts != nil {
+		db.opts = *opts
+	}
+	return db
+}
+
+// Catalog exposes the schema and statistics.
+func (db *DB) Catalog() *rel.Catalog { return db.cat }
+
+// Result is an executed query.
+type Result struct {
+	// Rows are the output tuples.
+	Rows []exec.Row
+	// Columns names the output columns; aggregate outputs are "agg".
+	Columns []string
+	// Plan is the executed physical plan.
+	Plan *core.Plan
+	// Stats are the optimizer's search counters.
+	Stats core.Stats
+}
+
+// Stmt is a prepared statement: parsed, optimized (statically or
+// dynamically), and executable many times with different parameters.
+type Stmt struct {
+	db      *DB
+	plan    *core.Plan
+	dynamic bool
+	nparams int
+}
+
+// Prepare parses and optimizes a statement. Queries with `$n`
+// parameters get a dynamic plan (a choose-plan over selectivity
+// regions); fully specified queries get a single optimal plan.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	st, err := sqlish.Parse(db.cat, sql)
+	if err != nil {
+		return nil, err
+	}
+	nparams := countParams(st.Tree)
+	if nparams > 1 {
+		return nil, fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
+	}
+	if nparams == 1 {
+		res, err := relopt.OptimizeDynamic(db.cat, db.opts.Config, st.Tree, st.Required, db.opts.DynamicBuckets)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{db: db, plan: res.Plan, dynamic: res.Alternatives > 1, nparams: 1}, nil
+	}
+	opts := db.opts.Search
+	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
+	root := opt.InsertQuery(st.Tree)
+	plan, err := opt.Optimize(root, st.Required)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("vdb: no plan satisfies the query")
+	}
+	return &Stmt{db: db, plan: plan}, nil
+}
+
+// Exec runs the prepared statement with the given parameter values.
+func (s *Stmt) Exec(params ...int64) (*Result, error) {
+	if len(params) != s.nparams {
+		return nil, fmt.Errorf("vdb: statement needs %d parameters, got %d", s.nparams, len(params))
+	}
+	rows, schema, err := exec.RunParams(s.db.data, s.plan, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: rows, Columns: columnNames(s.db.cat, schema), Plan: s.plan}, nil
+}
+
+// Plan exposes the prepared plan (a ChoosePlan root for dynamic
+// statements).
+func (s *Stmt) Plan() *core.Plan { return s.plan }
+
+// Dynamic reports whether the statement carries runtime alternatives.
+func (s *Stmt) Dynamic() bool { return s.dynamic }
+
+// Query parses, optimizes, and executes a fully specified statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	st, err := sqlish.Parse(db.cat, sql)
+	if err != nil {
+		return nil, err
+	}
+	if countParams(st.Tree) != 0 {
+		return nil, fmt.Errorf("vdb: parameterized query requires Prepare/Exec or QueryParams")
+	}
+	opts := db.opts.Search
+	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
+	root := opt.InsertQuery(st.Tree)
+	plan, err := opt.Optimize(root, st.Required)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("vdb: no plan satisfies the query")
+	}
+	rows, schema, err := exec.Run(db.data, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:    rows,
+		Columns: columnNames(db.cat, schema),
+		Plan:    plan,
+		Stats:   *opt.Stats(),
+	}, nil
+}
+
+// QueryParams prepares and executes a parameterized statement in one
+// step.
+func (db *DB) QueryParams(sql string, params ...int64) (*Result, error) {
+	stmt, err := db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Exec(params...)
+}
+
+// Explain parses and optimizes without executing, returning the plan
+// rendering.
+func (db *DB) Explain(sql string) (string, error) {
+	st, err := sqlish.Parse(db.cat, sql)
+	if err != nil {
+		return "", err
+	}
+	opts := db.opts.Search
+	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
+	root := opt.InsertQuery(st.Tree)
+	plan, err := opt.Optimize(root, st.Required)
+	if err != nil {
+		return "", err
+	}
+	if plan == nil {
+		return "", fmt.Errorf("vdb: no plan satisfies the query")
+	}
+	return plan.Format(), nil
+}
+
+// countParams counts distinct parameter indexes in selection predicates.
+func countParams(t *core.ExprTree) int {
+	seen := map[int]bool{}
+	var walk func(*core.ExprTree)
+	walk = func(n *core.ExprTree) {
+		if n.Op != nil {
+			if s, ok := n.Op.(*rel.Select); ok && s.Pred.IsParam() {
+				seen[s.Pred.Param] = true
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return len(seen)
+}
+
+// columnNames renders a schema with catalog names.
+func columnNames(cat *rel.Catalog, schema *exec.Schema) []string {
+	out := make([]string, 0, len(schema.Cols))
+	for _, c := range schema.Cols {
+		if c == rel.InvalidCol {
+			out = append(out, "agg")
+			continue
+		}
+		out = append(out, cat.Column(c).Qualified())
+	}
+	return out
+}
