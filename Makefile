@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test test-race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# The headline numbers: Figure-4 optimization time (serial and parallel
+# batch throughput) plus the search-engine micro-benchmarks.
+bench:
+	$(GO) test -run NONE -bench 'BenchmarkFig4Volcano|BenchmarkFig4VolcanoParallel' -benchmem .
+	$(GO) test -run NONE -bench 'BenchmarkCollectMoves|BenchmarkWinnerLookup' -benchmem ./internal/core/

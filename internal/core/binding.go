@@ -84,7 +84,7 @@ func (m *Memo) exploreGroup(g *Group) {
 	defer func() { g.exploring = false }()
 
 	rules := m.model.TransformationRules()
-	ctx := &RuleContext{Memo: m, Model: m.model}
+	ctx := m.ctx
 	for {
 		// Each pass attempts every (expression, rule) pair not yet
 		// attempted, marking attempts in the expression's rule mask.
@@ -150,9 +150,12 @@ func (m *Memo) insertSubstitute(t *ExprTree, target GroupID) (GroupID, bool) {
 		}
 		return target, false
 	}
-	inputs := make([]GroupID, len(t.Children))
-	for i, c := range t.Children {
-		inputs[i] = m.InsertTree(c, InvalidGroup)
+	var inputs []GroupID
+	if len(t.Children) > 0 {
+		inputs = make([]GroupID, len(t.Children))
+		for i, c := range t.Children {
+			inputs[i] = m.InsertTree(c, InvalidGroup)
+		}
 	}
-	return m.Insert(t.Op, inputs, target)
+	return m.insertOwned(t.Op, inputs, target)
 }

@@ -28,6 +28,15 @@ type Group struct {
 	// the optimization outcome for this class under that requirement.
 	winners map[physKey]*winner
 
+	// moveSets caches, per required physical property vector, the
+	// implementation-rule and enforcer moves collected for this class,
+	// with a watermark of already-matched expressions. FindBestPlan
+	// extends a cached set incrementally instead of re-matching every
+	// rule against every expression on each fixpoint iteration and goal
+	// re-activation. Entries are invalidated lazily when the memo's
+	// merge epoch has advanced past the set's epoch.
+	moveSets map[physKey]*moveSet
+
 	// explored is set once the group's logical expressions have been
 	// expanded to transformation-rule fixpoint.
 	explored bool
@@ -58,6 +67,67 @@ type winner struct {
 	inProgress bool
 	// next chains entries whose property pairs collide in the hash.
 	next *winner
+}
+
+// moveSet is the cached move collection for one (class, required
+// physical property vector) pair.
+type moveSet struct {
+	// props is the required vector the moves were collected for.
+	props PhysProps
+	// moves holds enforcer moves plus one algorithm move per surviving
+	// implementation-rule binding over exprs[:matched]. Within each
+	// collection batch the moves are promise-ordered; batch boundaries
+	// are preserved so an in-flight pursuit index stays valid.
+	moves []Move
+	// matched is the expression watermark: exprs[:matched] have been
+	// matched against every implementation rule.
+	matched int
+	// epoch is the memo merge epoch at match time. Any later merge may
+	// create new bindings for already-matched expressions (through
+	// enlarged input classes), so a stale epoch voids the whole set.
+	epoch uint64
+	// gen increments on every reset so active pursuits detect that
+	// their move indexes no longer refer to this set's contents.
+	gen uint64
+	// next chains sets whose property vectors collide in the hash.
+	next *moveSet
+}
+
+// reset voids the set for re-collection from scratch. The moves slice is
+// dropped (not truncated) so pursuits still iterating over the old
+// backing array are unaffected.
+func (ms *moveSet) reset(epoch uint64) {
+	ms.moves = nil
+	ms.matched = 0
+	ms.epoch = epoch
+	ms.gen++
+}
+
+// ensureMoveSet returns the move cache for the required vector, creating
+// an empty one if none exists. k must be keyOf(props).
+func (g *Group) ensureMoveSet(k physKey, props PhysProps) *moveSet {
+	for ms := g.moveSets[k]; ms != nil; ms = ms.next {
+		if ms.props.Equal(props) {
+			return ms
+		}
+	}
+	if g.moveSets == nil {
+		g.moveSets = make(map[physKey]*moveSet)
+	}
+	ms := &moveSet{props: props, next: g.moveSets[k]}
+	g.moveSets[k] = ms
+	return ms
+}
+
+// moveCount returns the number of cached moves (for statistics).
+func (g *Group) moveCount() int {
+	n := 0
+	for _, ms := range g.moveSets {
+		for ; ms != nil; ms = ms.next {
+			n += len(ms.moves)
+		}
+	}
+	return n
 }
 
 // ID returns the group's identifier.
@@ -94,7 +164,14 @@ func sameExcluded(a, b PhysProps) bool {
 
 // lookupWinner returns the winner entry for the pair, or nil.
 func (g *Group) lookupWinner(props, excluded PhysProps) *winner {
-	for w := g.winners[winnerKey(props, excluded)]; w != nil; w = w.next {
+	return g.lookupWinnerKeyed(winnerKey(props, excluded), props, excluded)
+}
+
+// lookupWinnerKeyed is lookupWinner with the property fingerprint
+// precomputed; hot paths derive the key once per goal and reuse it for
+// every table access instead of re-hashing the vectors.
+func (g *Group) lookupWinnerKeyed(k physKey, props, excluded PhysProps) *winner {
+	for w := g.winners[k]; w != nil; w = w.next {
 		if w.props.Equal(props) && sameExcluded(w.excluded, excluded) {
 			return w
 		}
@@ -105,13 +182,17 @@ func (g *Group) lookupWinner(props, excluded PhysProps) *winner {
 // ensureWinner returns the winner entry for the pair, creating an empty
 // one if none exists.
 func (g *Group) ensureWinner(props, excluded PhysProps) *winner {
-	if w := g.lookupWinner(props, excluded); w != nil {
+	return g.ensureWinnerKeyed(winnerKey(props, excluded), props, excluded)
+}
+
+// ensureWinnerKeyed is ensureWinner with the key precomputed.
+func (g *Group) ensureWinnerKeyed(k physKey, props, excluded PhysProps) *winner {
+	if w := g.lookupWinnerKeyed(k, props, excluded); w != nil {
 		return w
 	}
 	if g.winners == nil {
 		g.winners = make(map[physKey]*winner)
 	}
-	k := winnerKey(props, excluded)
 	w := &winner{props: props, excluded: excluded, next: g.winners[k]}
 	g.winners[k] = w
 	return w

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The hot-path benchmarks live inside the package so they can target the
+// internal move-collection and winner-table machinery directly. They use
+// a minimal model — leaf and binary-node operators, one "tint" physical
+// property, an enforcer — defined here rather than sharing the external
+// test suite's toy model, which package core cannot import.
+
+const (
+	hpKindLeaf OpKind = 200 + iota
+	hpKindNode
+)
+
+type hpLeaf struct{ id int }
+
+func (l *hpLeaf) Kind() OpKind             { return hpKindLeaf }
+func (l *hpLeaf) Arity() int               { return 0 }
+func (l *hpLeaf) ArgsEqual(o LogicalOp) bool { return l.id == o.(*hpLeaf).id }
+func (l *hpLeaf) ArgsHash() uint64         { return uint64(l.id)*2654435761 + 17 }
+func (l *hpLeaf) Name() string             { return "HPLEAF" }
+func (l *hpLeaf) String() string           { return fmt.Sprintf("HPLEAF(%d)", l.id) }
+
+type hpNode struct{}
+
+func (*hpNode) Kind() OpKind             { return hpKindNode }
+func (*hpNode) Arity() int               { return 2 }
+func (*hpNode) ArgsEqual(LogicalOp) bool { return true }
+func (*hpNode) ArgsHash() uint64         { return 23 }
+func (*hpNode) Name() string             { return "HPNODE" }
+func (*hpNode) String() string           { return "HPNODE" }
+
+type hpProps struct{ n int }
+
+func (p *hpProps) String() string { return fmt.Sprintf("n=%d", p.n) }
+
+// hpTint is the physical property: 0 = none required.
+type hpTint int
+
+func (t hpTint) Equal(o PhysProps) bool  { return t == o.(hpTint) }
+func (t hpTint) Covers(o PhysProps) bool { return o.(hpTint) == 0 || t == o.(hpTint) }
+func (t hpTint) Hash() uint64            { return uint64(t) }
+func (t hpTint) String() string          { return fmt.Sprintf("tint%d", int(t)) }
+
+type hpCost float64
+
+func (c hpCost) Add(o Cost) Cost { return c + o.(hpCost) }
+func (c hpCost) Sub(o Cost) Cost { return c - o.(hpCost) }
+func (c hpCost) Less(o Cost) bool { return c < o.(hpCost) }
+func (c hpCost) String() string  { return fmt.Sprintf("%.1f", float64(c)) }
+
+type hpPhys struct{ name string }
+
+func (p *hpPhys) Name() string   { return p.name }
+func (p *hpPhys) String() string { return p.name }
+
+type hpModel struct{}
+
+func (*hpModel) Name() string { return "hotpath" }
+
+func (*hpModel) DeriveLogicalProps(op LogicalOp, inputs []LogicalProps) LogicalProps {
+	n := 1
+	for _, in := range inputs {
+		n += in.(*hpProps).n
+	}
+	return &hpProps{n: n}
+}
+
+func (*hpModel) TransformationRules() []*TransformRule {
+	return []*TransformRule{
+		{
+			Name:    "hp-commute",
+			Pattern: P(hpKindNode, Leaf(), Leaf()),
+			Apply: func(ctx *RuleContext, b *Binding) []*ExprTree {
+				return []*ExprTree{Node(&hpNode{},
+					ClassRef(b.Children[1].Group), ClassRef(b.Children[0].Group))}
+			},
+		},
+		{
+			Name:    "hp-rotate",
+			Pattern: P(hpKindNode, P(hpKindNode, Leaf(), Leaf()), Leaf()),
+			Apply: func(ctx *RuleContext, b *Binding) []*ExprTree {
+				a := b.Children[0].Children[0].Group
+				bb := b.Children[0].Children[1].Group
+				c := b.Children[1].Group
+				return []*ExprTree{Node(&hpNode{},
+					ClassRef(a), Node(&hpNode{}, ClassRef(bb), ClassRef(c)))}
+			},
+		},
+	}
+}
+
+func (*hpModel) ImplementationRules() []*ImplRule {
+	anyIn := []InputReq{{Required: []PhysProps{hpTint(0), hpTint(0)}}}
+	return []*ImplRule{
+		{
+			Name:    "hpleaf->scan",
+			Pattern: P(hpKindLeaf),
+			Applicability: func(ctx *RuleContext, b *Binding, required PhysProps) ([]InputReq, bool) {
+				return []InputReq{{}}, required.(hpTint) == 0
+			},
+			Cost: func(ctx *RuleContext, b *Binding, required PhysProps, alt InputReq) Cost {
+				return hpCost(1)
+			},
+			Build: func(ctx *RuleContext, b *Binding, required PhysProps, alt InputReq) PhysicalOp {
+				return &hpPhys{name: "hp-scan"}
+			},
+			Promise: 2,
+		},
+		{
+			Name:    "hpnode->join",
+			Pattern: P(hpKindNode, Leaf(), Leaf()),
+			Applicability: func(ctx *RuleContext, b *Binding, required PhysProps) ([]InputReq, bool) {
+				if required.(hpTint) != 0 {
+					return nil, false
+				}
+				return anyIn, true
+			},
+			Cost: func(ctx *RuleContext, b *Binding, required PhysProps, alt InputReq) Cost {
+				return hpCost(2)
+			},
+			Build: func(ctx *RuleContext, b *Binding, required PhysProps, alt InputReq) PhysicalOp {
+				return &hpPhys{name: "hp-join"}
+			},
+			Promise: 2,
+		},
+	}
+}
+
+func (*hpModel) Enforcers() []*Enforcer {
+	return []*Enforcer{{
+		Name: "hp-tinter",
+		Relax: func(ctx *RuleContext, lp LogicalProps, required PhysProps) (PhysProps, PhysProps, bool) {
+			if required.(hpTint) == 0 {
+				return nil, nil, false
+			}
+			return hpTint(0), required, true
+		},
+		Cost: func(ctx *RuleContext, lp LogicalProps, required PhysProps) Cost {
+			return hpCost(4)
+		},
+		Build: func(ctx *RuleContext, lp LogicalProps, required PhysProps) PhysicalOp {
+			return &hpPhys{name: "hp-tinter"}
+		},
+	}}
+}
+
+func (*hpModel) AnyProps() PhysProps { return hpTint(0) }
+func (*hpModel) ZeroCost() Cost      { return hpCost(0) }
+func (*hpModel) InfiniteCost() Cost  { return hpCost(1e18) }
+
+// hpChain builds HPNODE(...HPNODE(HPNODE(l0,l1),l2)...,ln).
+func hpChain(n int) *ExprTree {
+	t := Node(&hpLeaf{id: 0})
+	for i := 1; i < n; i++ {
+		t = Node(&hpNode{}, t, Node(&hpLeaf{id: i}))
+	}
+	return t
+}
+
+// hpExplored returns an optimizer with an n-leaf chain inserted and its
+// root class explored to transformation fixpoint.
+func hpExplored(tb testing.TB, n int) (*Optimizer, *Group) {
+	tb.Helper()
+	o := NewOptimizer(&hpModel{}, nil)
+	root := o.InsertQuery(hpChain(n))
+	if err := o.Explore(root); err != nil {
+		tb.Fatal(err)
+	}
+	return o, o.memo.Group(root)
+}
+
+// BenchmarkCollectMoves compares from-scratch move collection (what
+// every fixpoint iteration used to pay) against extending an up-to-date
+// cached move set (the incremental steady state).
+func BenchmarkCollectMoves(b *testing.B) {
+	b.Run("scratch", func(b *testing.B) {
+		o, g := hpExplored(b, 6)
+		required := o.model.AnyProps()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(o.collectMoves(g, required)) == 0 {
+				b.Fatal("no moves")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		o, g := hpExplored(b, 6)
+		required := o.model.AnyProps()
+		ms := g.ensureMoveSet(keyOf(required), required)
+		ms.epoch = o.memo.mergeEpoch
+		o.collectMovesInto(ms, g, required)
+		if len(ms.moves) == 0 {
+			b.Fatal("no moves")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.collectMovesInto(ms, g, required)
+		}
+	})
+}
+
+// BenchmarkWinnerLookup measures answering a goal from the winner table
+// — the engine's most frequent operation once the memo is warm.
+func BenchmarkWinnerLookup(b *testing.B) {
+	o, g := hpExplored(b, 6)
+	required := PhysProps(hpTint(1))
+	if p, err := o.Optimize(g.ID(), required); err != nil || p == nil {
+		b.Fatalf("optimize: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := o.Optimize(g.ID(), required)
+		if err != nil || p == nil {
+			b.Fatalf("optimize: %v", err)
+		}
+	}
+}
+
+// TestMergeCarriesWinnerState verifies at the struct level that every
+// piece of winner-table state — plans, failure limits, and the
+// in-progress flag guarding cyclic derivations — survives a class
+// unification into the surviving class's hashed index, and that the
+// merged-away class's move caches die while the epoch bump voids all
+// others.
+func TestMergeCarriesWinnerState(t *testing.T) {
+	o := NewOptimizer(&hpModel{}, nil)
+	m := o.memo
+	ga := m.InsertTree(Node(&hpLeaf{id: 1}), InvalidGroup)
+	gb := m.InsertTree(Node(&hpLeaf{id: 2}), InvalidGroup)
+
+	// All state goes on the class that will merge away (gb: higher id).
+	loser := m.Group(gb)
+	wProg := loser.ensureWinner(hpTint(1), nil)
+	wProg.inProgress = true
+	wFail := loser.ensureWinner(hpTint(2), nil)
+	wFail.failedLimit = hpCost(3)
+	wPlan := loser.ensureWinner(hpTint(3), hpTint(1))
+	wPlan.plan = &Plan{Cost: hpCost(5)}
+	wPlan.cost = hpCost(5)
+	ms := loser.ensureMoveSet(keyOf(hpTint(0)), hpTint(0))
+	ms.moves = append(ms.moves, Move{Kind: MoveEnforcer})
+	epochBefore := m.mergeEpoch
+
+	if got := m.merge(ga, gb); got != m.Find(ga) {
+		t.Fatalf("merge representative = %d", got)
+	}
+	surv := m.Group(ga)
+	if surv == loser {
+		t.Fatal("expected ga's class to survive")
+	}
+	if w := surv.lookupWinner(hpTint(1), nil); w == nil || !w.inProgress {
+		t.Fatalf("in-progress flag lost: %+v", w)
+	}
+	if w := surv.lookupWinner(hpTint(2), nil); w == nil || w.failedLimit == nil ||
+		w.failedLimit.(hpCost) != 3 {
+		t.Fatalf("failure entry lost: %+v", w)
+	}
+	if w := surv.lookupWinner(hpTint(3), hpTint(1)); w == nil || w.plan == nil ||
+		w.cost.(hpCost) != 5 {
+		t.Fatalf("winner plan lost: %+v", w)
+	}
+	if loser.moveSets != nil {
+		t.Fatal("merged-away class kept its move caches")
+	}
+	if m.mergeEpoch != epochBefore+1 {
+		t.Fatalf("merge epoch %d, want %d", m.mergeEpoch, epochBefore+1)
+	}
+}
+
+// TestHotPathAllocs pins allocation counts on the move-collection hot
+// path so micro-optimizations do not silently regress.
+func TestHotPathAllocs(t *testing.T) {
+	o, g := hpExplored(t, 6)
+	required := o.model.AnyProps()
+	ms := g.ensureMoveSet(keyOf(required), required)
+	ms.epoch = o.memo.mergeEpoch
+	o.collectMovesInto(ms, g, required)
+	if len(ms.moves) == 0 {
+		t.Fatal("no moves collected")
+	}
+
+	// Extending an up-to-date move set is a watermark comparison and
+	// must not allocate.
+	if n := testing.AllocsPerRun(100, func() {
+		o.collectMovesInto(ms, g, required)
+	}); n != 0 {
+		t.Errorf("warm collectMovesInto allocates %.1f times per run, want 0", n)
+	}
+
+	// A warm winner-table hit may box at most a couple of interface
+	// values on its way out; anything more means the lookup path has
+	// grown an allocation.
+	if p, err := o.Optimize(g.ID(), required); err != nil || p == nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if p, err := o.Optimize(g.ID(), required); err != nil || p == nil {
+			t.Fatalf("optimize: %v", err)
+		}
+	}); n > 2 {
+		t.Errorf("warm winner-hit Optimize allocates %.1f times per run, want <= 2", n)
+	}
+
+	// Repeated memo insertion of an already-stored expression must not
+	// allocate: the canonical-input lookup runs over the scratch buffer.
+	e := g.Exprs()[0]
+	if len(e.Inputs) == 0 {
+		t.Fatal("expected a non-leaf expression first in the root class")
+	}
+	op, inputs := e.Op, e.Inputs
+	if n := testing.AllocsPerRun(100, func() {
+		o.memo.Insert(op, inputs, InvalidGroup)
+	}); n != 0 {
+		t.Errorf("duplicate Insert allocates %.1f times per run, want 0", n)
+	}
+}

@@ -31,6 +31,30 @@ type Memo struct {
 	stats     *Stats
 	opts      *Options
 	err       error
+
+	// mergeEpoch counts class unifications. A merge can create new rule
+	// bindings for expressions matched earlier (their input classes gain
+	// members), so cached move sets record the epoch they were built at
+	// and are voided when it has advanced. Between merges — in
+	// particular through the whole cost-analysis phase of a typical
+	// search, where transformations have already reached fixpoint —
+	// caches stay valid and incremental collection does no rework.
+	mergeEpoch uint64
+	// multiMask has the bit of every transformation rule whose pattern
+	// spans more than one operator. Only those rules can bind new
+	// expressions through an input class enlarged by a merge, so only
+	// their fired-rule bits are reset on parents when classes unify;
+	// single-operator rules never need to re-fire.
+	multiMask uint64
+	// ctx is the rule context handed to condition and apply code,
+	// hoisted here so exploration does not allocate one per class.
+	ctx *RuleContext
+	// scratch is the reusable canonical-input buffer for insert
+	// lookups; an input copy is only allocated when an expression is
+	// actually stored.
+	scratch []GroupID
+	// arena slab-allocates the bindings retained by cached moves.
+	arena bindingArena
 }
 
 // ErrBudget is returned when the search exceeds the configured
@@ -41,12 +65,30 @@ var ErrBudget = errors.New("core: memo expression budget exhausted")
 
 // NewMemo creates an empty memo for the given model.
 func NewMemo(model Model, opts *Options, stats *Stats) *Memo {
-	return &Memo{
+	m := &Memo{
 		model: model,
 		table: make(map[uint64]*Expr),
 		stats: stats,
 		opts:  opts,
 	}
+	for i, rule := range model.TransformationRules() {
+		if multiLevel(rule.Pattern) {
+			m.multiMask |= 1 << uint(i)
+		}
+	}
+	m.ctx = &RuleContext{Memo: m, Model: model}
+	return m
+}
+
+// multiLevel reports whether a pattern spans more than one operator,
+// i.e. has an operator (non-leaf) sub-pattern.
+func multiLevel(p *Pattern) bool {
+	for _, c := range p.Children {
+		if !c.IsLeaf {
+			return true
+		}
+	}
+	return false
 }
 
 // Model returns the data model this memo optimizes.
@@ -139,6 +181,22 @@ func (m *Memo) lookup(op LogicalOp, inputs []GroupID) *Expr {
 // The returned class is the (representative) class now containing the
 // expression; created reports whether the expression was new.
 func (m *Memo) Insert(op LogicalOp, inputs []GroupID, target GroupID) (GroupID, bool) {
+	// The lookup runs over the reusable scratch buffer; a private copy
+	// of the canonical inputs is made only when the expression is new
+	// and actually stored, so duplicate derivations — the common case
+	// during exploration — allocate nothing.
+	m.scratch = append(m.scratch[:0], inputs...)
+	return m.insertCanon(op, m.scratch, target, false)
+}
+
+// insertOwned is Insert for callers that hand over ownership of the
+// inputs slice (freshly allocated, never reused), letting the stored
+// expression adopt it without a defensive copy.
+func (m *Memo) insertOwned(op LogicalOp, inputs []GroupID, target GroupID) (GroupID, bool) {
+	return m.insertCanon(op, inputs, target, true)
+}
+
+func (m *Memo) insertCanon(op LogicalOp, inputs []GroupID, target GroupID, owned bool) (GroupID, bool) {
 	if m.err != nil {
 		return target, false
 	}
@@ -146,7 +204,7 @@ func (m *Memo) Insert(op LogicalOp, inputs []GroupID, target GroupID) (GroupID, 
 		panic(fmt.Sprintf("core: operator %s has arity %d but %d inputs supplied",
 			op.Name(), op.Arity(), len(inputs)))
 	}
-	inputs = m.canon(append([]GroupID(nil), inputs...))
+	inputs = m.canon(inputs)
 	if target != InvalidGroup {
 		target = m.Find(target)
 	}
@@ -160,6 +218,13 @@ func (m *Memo) Insert(op LogicalOp, inputs []GroupID, target GroupID) (GroupID, 
 	if m.opts != nil && m.opts.MaxExprs > 0 && m.exprCount >= m.opts.MaxExprs {
 		m.err = ErrBudget
 		return target, false
+	}
+	if !owned {
+		if len(inputs) == 0 {
+			inputs = nil
+		} else {
+			inputs = append(make([]GroupID, 0, len(inputs)), inputs...)
+		}
 	}
 	e := &Expr{Op: op, Inputs: inputs}
 	h := exprHash(op, inputs)
@@ -210,18 +275,44 @@ func (m *Memo) merge(a, b GroupID) GroupID {
 			if dst.plan == nil || (w.plan != nil && w.cost.Less(dst.cost)) {
 				dst.plan, dst.cost = w.plan, w.cost
 			}
+			// A goal on the merged-away class that is still on the call
+			// stack must stay visible as in-progress through the
+			// representative, or a cyclic derivation could re-enter it
+			// and loop.
+			if w.inProgress {
+				dst.inProgress = true
+			}
+			// Failures survive with their strongest limit, symmetric
+			// with the representative's own entries, which also predate
+			// the unification. (In this engine transformations run to
+			// fixpoint before cost analysis, so merges precede the
+			// winner entries of the classes they touch; the carry-over
+			// matters only for bookkeeping and inspection.)
+			if w.failedLimit != nil &&
+				(dst.failedLimit == nil || dst.failedLimit.Less(w.failedLimit)) {
+				dst.failedLimit = w.failedLimit
+			}
 		}
 	}
 	gb.winners = nil
+	// Cached move sets of the merged-away class die with it; sets of
+	// every other class (including ga's) are voided lazily through the
+	// epoch bump, since any of them may bind new expressions through
+	// the enlarged class.
+	gb.moveSets = nil
+	m.mergeEpoch++
 	// The merged class must be (re-)explored: rules may now fire on
 	// the union of expressions, and every expression that consumes
 	// either side can now bind through new members, so the fired-rule
-	// masks of all parents are reset and their classes re-opened.
+	// masks of all parents are reset and their classes re-opened. Only
+	// multi-operator rules can gain bindings this way — a single-
+	// operator rule binds input classes as opaque leaves — so only
+	// their bits are cleared.
 	ga.explored = false
 	ga.parents = append(ga.parents, gb.parents...)
 	gb.parents = nil
 	for _, p := range ga.parents {
-		p.appliedRules = 0
+		p.appliedRules &^= m.multiMask
 		pg := m.groups[m.Find(p.group)-1]
 		pg.explored = false
 	}
@@ -238,11 +329,14 @@ func (m *Memo) InsertTree(t *ExprTree, target GroupID) GroupID {
 	if t.Op == nil {
 		return m.Find(t.Group)
 	}
-	inputs := make([]GroupID, len(t.Children))
-	for i, c := range t.Children {
-		inputs[i] = m.InsertTree(c, InvalidGroup)
+	var inputs []GroupID
+	if len(t.Children) > 0 {
+		inputs = make([]GroupID, len(t.Children))
+		for i, c := range t.Children {
+			inputs[i] = m.InsertTree(c, InvalidGroup)
+		}
 	}
-	g, _ := m.Insert(t.Op, inputs, target)
+	g, _ := m.insertOwned(t.Op, inputs, target)
 	return g
 }
 
@@ -251,13 +345,15 @@ func (m *Memo) InsertTree(t *ExprTree, target GroupID) GroupID {
 // for all test queries within 1 MB of work space.
 func (m *Memo) MemoryBytes() int {
 	const (
-		groupBytes  = 96 // Group struct + slice headers
-		exprBytes   = 80 // Expr struct + average input slice
-		winnerBytes = 72 // winner struct + map entry share
+		groupBytes  = 96  // Group struct + slice headers
+		exprBytes   = 80  // Expr struct + average input slice
+		winnerBytes = 72  // winner struct + map entry share
+		moveBytes   = 112 // cached Move + binding share
 	)
 	bytes := 0
 	m.Groups(func(g *Group) {
-		bytes += groupBytes + exprBytes*len(g.exprs) + winnerBytes*g.winnerCount()
+		bytes += groupBytes + exprBytes*len(g.exprs) +
+			winnerBytes*g.winnerCount() + moveBytes*g.moveCount()
 	})
 	return bytes
 }

@@ -25,6 +25,14 @@ type Options struct {
 	// without property requirements, and enforcers are glued on top of
 	// the winning plan afterwards.
 	GlueMode bool
+	// NoIncremental disables the incremental move-collection cache:
+	// every fixpoint iteration of FindBestPlan re-matches all
+	// implementation rules against all of a class's expressions, as the
+	// engine originally did. It exists for A/B testing the incremental
+	// scheme (the results must be identical) and as a safety valve.
+	// Setting MoveFilter implies NoIncremental: heuristics must see the
+	// full move list of every iteration.
+	NoIncremental bool
 	// MaxExprs bounds the number of logical expressions in the memo;
 	// exceeding it aborts optimization with ErrBudget. Zero means
 	// unbounded.
@@ -70,6 +78,11 @@ type Move struct {
 	Alts []InputReq
 	// Enforcer is the enforcer for MoveEnforcer moves.
 	Enforcer *Enforcer
+
+	// leaves caches Binding.Leaves for MoveAlgorithm moves, computed
+	// once at collection time so repeated pursuits of a cached move
+	// skip the tree walk (and its allocation).
+	leaves []GroupID
 }
 
 // Stats accumulates search-effort counters for one optimizer run. They
@@ -97,6 +110,16 @@ type Stats struct {
 	WinnerHits int
 	// FailureHits counts goals answered from memoized failures.
 	FailureHits int
+	// MatchCalls counts (expression, implementation-rule) match
+	// attempts during move collection. With incremental move collection
+	// each pair is matched once per (class, requirement) between
+	// merges; the from-scratch engine re-matches every pair on every
+	// fixpoint iteration and goal re-activation.
+	MatchCalls int
+	// MovesReused counts moves replayed from a class's move cache —
+	// collected by an earlier activation of the same (class,
+	// requirement) goal and pursued again without any rule re-matching.
+	MovesReused int
 	// GoalsOptimized counts goals actually searched.
 	GoalsOptimized int
 	// ConsistencyViolations counts plans whose delivered physical

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelJob describes one independent optimization: a query to build
+// and the physical properties its plan must deliver. Each job gets its
+// own Optimizer and memo, so jobs share nothing mutable; the Model (and
+// anything the Build callback closes over) is the only shared state and
+// must therefore be safe for concurrent reads. Models in this repository
+// are immutable after construction, matching the paper's generated
+// optimizers, whose rule sets and support functions are compiled in.
+type ParallelJob struct {
+	// Model is the data model to optimize over.
+	Model Model
+	// Options configures the job's optimizer; nil means defaults.
+	Options *Options
+	// Build inserts the job's query into the fresh optimizer and
+	// returns its root class (typically via InsertQuery).
+	Build func(o *Optimizer) GroupID
+	// Required is the physical property vector the final plan must
+	// deliver; nil means no requirement.
+	Required PhysProps
+}
+
+// ParallelResult is the outcome of one ParallelJob.
+type ParallelResult struct {
+	// Plan is the optimal plan, or nil if none exists within budget.
+	Plan *Plan
+	// Err is the optimizer error (e.g. ErrBudget), if any.
+	Err error
+	// Stats are the job's search-effort counters.
+	Stats Stats
+}
+
+// ParallelOptimize runs the jobs across a pool of workers and returns
+// one result per job, in job order. workers <= 0 uses GOMAXPROCS. The
+// pool is shared-nothing: parallelism is across queries, never within
+// one search, so each job's result is bit-identical to a serial run —
+// the memo, winner tables, and move caches are all per-job.
+//
+// This is the coarse-grained counterpart to the paper's observation that
+// optimization effort is dominated by independent per-query searches; a
+// compile server batching many queries scales with cores without any
+// locking in the search engine itself.
+func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
+	results := make([]ParallelResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = runJob(&jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job on a fresh optimizer.
+func runJob(job *ParallelJob) ParallelResult {
+	o := NewOptimizer(job.Model, job.Options)
+	root := job.Build(o)
+	plan, err := o.Optimize(root, job.Required)
+	return ParallelResult{Plan: plan, Err: err, Stats: *o.Stats()}
+}

@@ -134,8 +134,12 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	gid = o.memo.Find(gid)
 	g := o.memo.groups[gid-1]
 
+	// The property fingerprint is computed once per goal and reused for
+	// every winner-table access below.
+	wk := winnerKey(required, excluded)
+
 	// First part: answer from the look-up table when possible.
-	if w := g.lookupWinner(required, excluded); w != nil {
+	if w := g.lookupWinnerKeyed(wk, required, excluded); w != nil {
 		if w.inProgress {
 			return nil, true
 		}
@@ -155,21 +159,46 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	}
 
 	// Else: optimization required.
-	w := g.ensureWinner(required, excluded)
+	w := g.ensureWinnerKeyed(wk, required, excluded)
 	w.inProgress = true
 	defer func() {
 		w.inProgress = false
 		// The class may have merged away mid-search; release the
 		// surviving entry too.
 		if cur := o.memo.Group(gid); cur != g {
-			if cw := cur.lookupWinner(required, excluded); cw != nil {
+			if cw := cur.lookupWinnerKeyed(wk, required, excluded); cw != nil {
 				cw.inProgress = false
 			}
 		}
 	}()
 	o.stats.GoalsOptimized++
 
+	// Incremental move collection: moves are cached per (class,
+	// requirement) with an expression watermark, so each fixpoint
+	// iteration matches implementation rules only against expressions
+	// added since the last pass, and a goal re-activation (a memoized
+	// failure retried under a higher limit) replays the cached moves
+	// without any re-matching. A merge anywhere in the memo voids the
+	// cache — through the enlarged class, already-matched expressions
+	// may bind anew. MoveFilter heuristics must see the complete move
+	// list of every iteration, so they fall back to from-scratch
+	// collection.
+	incremental := o.opts.MoveFilter == nil && !o.opts.NoIncremental
+	var mk physKey
+	if incremental {
+		mk = keyOf(required)
+	}
+
 	s := &goal{required: required, excluded: excluded, limit: limit}
+	// done is this activation's pursuit frontier into the cached move
+	// set: moves[:done] have been pursued. It resets when the cache is
+	// voided or the class merges onto another (curMS/curGen detect
+	// both), re-pursuing the fresh collection.
+	var (
+		done   int
+		curMS  *moveSet
+		curGen uint64
+	)
 	for {
 		gid = o.memo.Find(gid)
 		g = o.memo.groups[gid-1]
@@ -180,9 +209,28 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 		}
 		nExprs := len(g.exprs)
 
-		moves := o.collectMoves(g, required)
-		if o.opts.MoveFilter != nil {
-			moves = o.opts.MoveFilter(moves)
+		var moves []Move
+		if incremental {
+			ms := g.ensureMoveSet(mk, required)
+			if ms != curMS || ms.gen != curGen {
+				done = 0
+			}
+			if ms.epoch != o.memo.mergeEpoch {
+				ms.reset(o.memo.mergeEpoch)
+				done = 0
+			}
+			if done == 0 && len(ms.moves) > 0 {
+				o.stats.MovesReused += len(ms.moves)
+			}
+			o.collectMovesInto(ms, g, required)
+			curMS, curGen = ms, ms.gen
+			moves = ms.moves[done:]
+			done = len(ms.moves)
+		} else {
+			moves = o.collectMoves(g, required)
+			if o.opts.MoveFilter != nil {
+				moves = o.opts.MoveFilter(moves)
+			}
 		}
 		for i := range moves {
 			switch moves[i].Kind {
@@ -200,10 +248,13 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 		// Child optimizations can enlarge or merge this class (new
 		// equivalent expressions discovered through other classes);
 		// re-collect moves until the class is stable so the search
-		// stays exhaustive.
+		// stays exhaustive. The incremental cache must also be drained:
+		// a nested goal sharing it may have appended moves this
+		// activation has not pursued yet.
 		cur := o.memo.Find(gid)
 		cg := o.memo.groups[cur-1]
-		if cur == gid && cg.explored && len(cg.exprs) == nExprs {
+		if cur == gid && cg.explored && len(cg.exprs) == nExprs &&
+			(!incremental || (curMS.gen == curGen && done == len(curMS.moves))) {
 			break
 		}
 	}
@@ -211,7 +262,7 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	// Maintain the look-up table of explored facts: optimal plans and
 	// failures are both interesting with respect to possible future use.
 	gid = o.memo.Find(gid)
-	fw := o.memo.groups[gid-1].ensureWinner(required, excluded)
+	fw := o.memo.groups[gid-1].ensureWinnerKeyed(wk, required, excluded)
 	if s.best != nil {
 		if fw.plan == nil || s.best.Cost.Less(fw.cost) {
 			fw.plan, fw.cost = s.best, s.best.Cost
@@ -241,6 +292,7 @@ func (o *Optimizer) collectMoves(g *Group, required PhysProps) []Move {
 	for _, rule := range o.model.ImplementationRules() {
 		for i := 0; i < len(g.exprs); i++ {
 			e := g.exprs[i]
+			o.stats.MatchCalls++
 			o.memo.matchBindings(e, rule.Pattern, func(b *Binding) bool {
 				if rule.Condition != nil && !rule.Condition(o.ctx, b) {
 					return true
@@ -267,8 +319,59 @@ func (o *Optimizer) collectMoves(g *Group, required PhysProps) []Move {
 	return moves
 }
 
+// collectMovesInto extends a cached move set to cover the class's current
+// expression list: implementation rules are matched only against
+// expressions past the set's watermark, and enforcer moves (which depend
+// only on the requirement, not on the expressions) are added exactly once.
+// Each extension batch is promise-ordered in place; earlier batches are
+// left untouched so pursuit indexes into them stay valid.
+func (o *Optimizer) collectMovesInto(ms *moveSet, g *Group, required PhysProps) {
+	first := ms.matched == 0 && len(ms.moves) == 0
+	if !first && ms.matched >= len(g.exprs) {
+		return
+	}
+	batch := len(ms.moves)
+	for _, rule := range o.model.ImplementationRules() {
+		for i := ms.matched; i < len(g.exprs); i++ {
+			e := g.exprs[i]
+			o.stats.MatchCalls++
+			o.memo.matchBindings(e, rule.Pattern, func(b *Binding) bool {
+				if rule.Condition != nil && !rule.Condition(o.ctx, b) {
+					return true
+				}
+				alts, ok := rule.Applicability(o.ctx, b, required)
+				if !ok || len(alts) == 0 {
+					return true
+				}
+				cb := o.memo.cloneBinding(b)
+				ms.moves = append(ms.moves, Move{
+					Kind:    MoveAlgorithm,
+					Promise: rule.Promise,
+					Rule:    rule,
+					Binding: cb,
+					Alts:    alts,
+					leaves:  cb.Leaves(nil),
+				})
+				return true
+			})
+		}
+	}
+	if first {
+		for _, enf := range o.model.Enforcers() {
+			ms.moves = append(ms.moves, Move{Kind: MoveEnforcer, Promise: enf.Promise, Enforcer: enf})
+		}
+	}
+	ms.matched = len(g.exprs)
+	if tail := ms.moves[batch:]; len(tail) > 1 {
+		sort.SliceStable(tail, func(i, j int) bool { return tail[i].Promise > tail[j].Promise })
+	}
+}
+
 // cloneBinding deep-copies a binding; the matcher reuses child slices
-// during enumeration, so stored bindings need their own copies.
+// during enumeration, so stored bindings need their own copies. Moves on
+// the transient (non-cached) path use this heap variant so their bindings
+// are garbage-collected with them; cached moves clone into the memo's
+// arena instead.
 func cloneBinding(b *Binding) *Binding {
 	c := &Binding{Expr: b.Expr, Group: b.Group}
 	if len(b.Children) > 0 {
@@ -319,7 +422,10 @@ func (o *Optimizer) offer(s *goal, p *Plan) {
 func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 	o.stats.AlgorithmMoves++
 	rule, b := mv.Rule, mv.Binding
-	leaves := b.Leaves(nil)
+	leaves := mv.leaves
+	if leaves == nil {
+		leaves = b.Leaves(nil)
+	}
 	for _, alt := range mv.Alts {
 		if len(alt.Required) != len(leaves) {
 			panic(fmt.Sprintf("core: rule %s returned %d input requirements for %d inputs",

@@ -99,6 +99,18 @@ const (
 	ShapeStar
 )
 
+// String names the shape as accepted by the volcano-bench -shape flag.
+func (s Shape) String() string {
+	switch s {
+	case ShapeChain:
+		return "chain"
+	case ShapeStar:
+		return "star"
+	default:
+		return "random"
+	}
+}
+
 // SelectJoinQuery generates a query over nRels distinct relations of the
 // catalog: nRels-1 equi-joins forming a connected acyclic join graph of
 // the given shape, plus one selection per input relation. The initial

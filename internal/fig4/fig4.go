@@ -86,6 +86,12 @@ type Point struct {
 	// standard deviations; the paper notes the EXODUS measurements
 	// were "quite volatile".
 	VolcanoStdDevMS, ExodusStdDevMS float64
+	// VolcanoGoals, VolcanoMatchCalls, and VolcanoMovesReused are mean
+	// search-effort counters: goals optimized, implementation-rule match
+	// attempts, and moves replayed from the move cache per query. The
+	// match-call mean quantifies the rule-matching work the incremental
+	// move collection avoids.
+	VolcanoGoals, VolcanoMatchCalls, VolcanoMovesReused float64
 }
 
 // Run executes the Figure-4 experiment and returns one point per
@@ -101,6 +107,7 @@ func Run(cfg Config) []Point {
 		var volCost, exoCost, ratio float64
 		var volSamples, exoSamples []float64
 		var volMem, exoMem, completed int
+		var volGoals, volMatches, volReused int
 		for q := 0; q < cfg.QueriesPerLevel; q++ {
 			query := src.SelectJoinQuery(cat, n, cfg.Shape)
 
@@ -120,6 +127,9 @@ func Run(cfg Config) []Point {
 			ratio += ecost / vcost
 			volMem += vstats.PeakMemoBytes
 			exoMem += estats.MemoryBytes
+			volGoals += vstats.GoalsOptimized
+			volMatches += vstats.MatchCalls
+			volReused += vstats.MovesReused
 		}
 		if completed > 0 {
 			f := float64(completed)
@@ -130,6 +140,9 @@ func Run(cfg Config) []Point {
 			pt.QualityRatio = ratio / f
 			pt.VolcanoMemBytes = volMem / completed
 			pt.ExodusMemBytes = exoMem / completed
+			pt.VolcanoGoals = float64(volGoals) / f
+			pt.VolcanoMatchCalls = float64(volMatches) / f
+			pt.VolcanoMovesReused = float64(volReused) / f
 		}
 		pt.ExodusCompleted = completed
 		points = append(points, pt)

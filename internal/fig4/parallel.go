@@ -1,0 +1,119 @@
+package fig4
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// SweepPoint is one complexity level of a parallel throughput sweep.
+type SweepPoint struct {
+	// Relations is the number of input relations (joins + 1).
+	Relations int `json:"relations"`
+	// Queries is the number of queries optimized at this level.
+	Queries int `json:"queries"`
+	// WallMS is the wall-clock time for the whole batch.
+	WallMS float64 `json:"wall_ms"`
+	// QueriesPerSecond is the batch throughput.
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// MeanCost is the mean estimated plan cost, for cross-checking
+	// against the serial experiment (parallelism must not change plans).
+	MeanCost float64 `json:"mean_plan_cost"`
+}
+
+// Sweep is the result of RunVolcanoSweep: per-level batch throughput of
+// the worker-pool driver, plus totals.
+type Sweep struct {
+	// Workers is the pool size used.
+	Workers int `json:"workers"`
+	// WallMS is the total wall-clock time across levels.
+	WallMS float64 `json:"wall_ms"`
+	// QueriesPerSecond is the overall throughput.
+	QueriesPerSecond float64 `json:"queries_per_second"`
+	// Points holds one entry per complexity level.
+	Points []SweepPoint `json:"points"`
+}
+
+// RunVolcanoSweep optimizes the Figure-4 Volcano workload through
+// core.ParallelOptimize with the given pool size (0 means GOMAXPROCS) and
+// reports batch throughput per complexity level. The query stream and
+// model match Run, so plan costs can be compared directly; the jobs share
+// the (read-only) model and nothing else.
+func RunVolcanoSweep(cfg Config, workers int) Sweep {
+	cfg = cfg.Defaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	sweep := Sweep{Workers: workers}
+	totalQueries := 0
+	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+		queries := make([]datagen.Query, cfg.QueriesPerLevel)
+		for q := range queries {
+			queries[q] = src.SelectJoinQuery(cat, n, cfg.Shape)
+		}
+		jobs := make([]core.ParallelJob, len(queries))
+		for i := range jobs {
+			query := queries[i]
+			var required core.PhysProps
+			if query.OrderBy != rel.InvalidCol {
+				required = relopt.SortedOn(query.OrderBy)
+			}
+			jobs[i] = core.ParallelJob{
+				Model:    model,
+				Build:    func(o *core.Optimizer) core.GroupID { return o.InsertQuery(query.Root) },
+				Required: required,
+			}
+		}
+
+		start := time.Now()
+		results := core.ParallelOptimize(jobs, workers)
+		wall := time.Since(start)
+
+		pt := SweepPoint{Relations: n, Queries: len(jobs)}
+		var cost float64
+		for i, r := range results {
+			if r.Err != nil {
+				panic(fmt.Sprintf("fig4: parallel volcano failed on %d relations: %v", n, r.Err))
+			}
+			if r.Plan == nil {
+				panic(fmt.Sprintf("fig4: parallel volcano produced no plan for query %d at %d relations", i, n))
+			}
+			cost += r.Plan.Cost.(relopt.Cost).Total()
+		}
+		pt.WallMS = float64(wall.Nanoseconds()) / 1e6
+		if wall > 0 {
+			pt.QueriesPerSecond = float64(len(jobs)) / wall.Seconds()
+		}
+		if len(jobs) > 0 {
+			pt.MeanCost = cost / float64(len(jobs))
+		}
+		sweep.WallMS += pt.WallMS
+		totalQueries += len(jobs)
+		sweep.Points = append(sweep.Points, pt)
+	}
+	if sweep.WallMS > 0 {
+		sweep.QueriesPerSecond = float64(totalQueries) / (sweep.WallMS / 1e3)
+	}
+	return sweep
+}
+
+// FormatSweep renders a sweep as a small table.
+func FormatSweep(s Sweep) string {
+	out := fmt.Sprintf("Parallel Volcano sweep — workers=%d, total %.1f ms, %.1f queries/s\n",
+		s.Workers, s.WallMS, s.QueriesPerSecond)
+	out += fmt.Sprintf("%-5s %8s %12s %12s %14s\n", "rels", "queries", "wall-ms", "queries/s", "mean-cost")
+	for _, p := range s.Points {
+		out += fmt.Sprintf("%-5d %8d %12.3f %12.1f %14.1f\n",
+			p.Relations, p.Queries, p.WallMS, p.QueriesPerSecond, p.MeanCost)
+	}
+	return out
+}

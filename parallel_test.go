@@ -1,0 +1,111 @@
+// Root-level tests for the hot-path work: the parallel driver must
+// produce exactly the serial engine's plans, and incremental move
+// collection must be invisible in the relational model's results.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relopt"
+)
+
+// TestParallelOptimizeMatchesSerial: the worker-pool driver returns, for
+// every query, a plan with exactly the cost the serial engine finds —
+// parallelism is across queries only and must not perturb the search.
+func TestParallelOptimizeMatchesSerial(t *testing.T) {
+	src := datagen.New(41)
+	cat := src.Catalog(6)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	var queries []datagen.Query
+	for n := 2; n <= 6; n++ {
+		for q := 0; q < 4; q++ {
+			queries = append(queries, src.SelectJoinQuery(cat, n, datagen.ShapeRandom))
+		}
+	}
+
+	serial := make([]float64, len(queries))
+	for i, q := range queries {
+		opt := core.NewOptimizer(model, nil)
+		root := opt.InsertQuery(q.Root)
+		plan, err := opt.Optimize(root, relopt.SortedOn(q.OrderBy))
+		if err != nil || plan == nil {
+			t.Fatalf("serial optimize %d: %v", i, err)
+		}
+		serial[i] = plan.Cost.(relopt.Cost).Total()
+	}
+
+	for _, workers := range []int{1, 4} {
+		jobs := make([]core.ParallelJob, len(queries))
+		for i := range jobs {
+			q := queries[i]
+			jobs[i] = core.ParallelJob{
+				Model:    model,
+				Build:    func(o *core.Optimizer) core.GroupID { return o.InsertQuery(q.Root) },
+				Required: relopt.SortedOn(q.OrderBy),
+			}
+		}
+		results := core.ParallelOptimize(jobs, workers)
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(results), len(jobs))
+		}
+		for i, r := range results {
+			if r.Err != nil || r.Plan == nil {
+				t.Fatalf("workers=%d query %d: plan=%v err=%v", workers, i, r.Plan, r.Err)
+			}
+			if got := r.Plan.Cost.(relopt.Cost).Total(); got != serial[i] {
+				t.Errorf("workers=%d query %d: parallel cost %v != serial %v", workers, i, got, serial[i])
+			}
+			if r.Stats.GoalsOptimized == 0 {
+				t.Errorf("workers=%d query %d: empty stats", workers, i)
+			}
+		}
+	}
+}
+
+// TestRelOptIncrementalMatchesFromScratch: on the relational model —
+// multi-level rules, enforcers, partitioning — incremental move
+// collection finds exactly the plans of from-scratch re-matching, with
+// fewer implementation-rule match attempts.
+func TestRelOptIncrementalMatchesFromScratch(t *testing.T) {
+	src := datagen.New(97)
+	cat := src.Catalog(6)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	var incMatches, scrMatches int
+	for n := 2; n <= 6; n++ {
+		for q := 0; q < 5; q++ {
+			query := src.SelectJoinQuery(cat, n, datagen.ShapeRandom)
+			name := fmt.Sprintf("rels=%d q=%d", n, q)
+
+			inc := core.NewOptimizer(model, nil)
+			pi, err := inc.Optimize(inc.InsertQuery(query.Root), relopt.SortedOn(query.OrderBy))
+			if err != nil || pi == nil {
+				t.Fatalf("%s incremental: %v", name, err)
+			}
+			scr := core.NewOptimizer(model, &core.Options{NoIncremental: true})
+			ps, err := scr.Optimize(scr.InsertQuery(query.Root), relopt.SortedOn(query.OrderBy))
+			if err != nil || ps == nil {
+				t.Fatalf("%s from-scratch: %v", name, err)
+			}
+			ci := pi.Cost.(relopt.Cost).Total()
+			cs := ps.Cost.(relopt.Cost).Total()
+			if ci != cs {
+				t.Errorf("%s: incremental cost %v != from-scratch %v", name, ci, cs)
+			}
+			if inc.Stats().ConsistencyViolations != 0 || scr.Stats().ConsistencyViolations != 0 {
+				t.Errorf("%s: consistency violations", name)
+			}
+			incMatches += inc.Stats().MatchCalls
+			scrMatches += scr.Stats().MatchCalls
+		}
+	}
+	if incMatches >= scrMatches {
+		t.Fatalf("incremental match calls %d not below from-scratch %d", incMatches, scrMatches)
+	}
+	t.Logf("match calls: incremental=%d from-scratch=%d (%.1f%%)",
+		incMatches, scrMatches, 100*float64(incMatches)/float64(scrMatches))
+}
