@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench
+.PHONY: build test test-race vet bench bench-guided
 
 build:
 	$(GO) build ./...
@@ -19,3 +19,9 @@ vet:
 bench:
 	$(GO) test -run NONE -bench 'BenchmarkFig4Volcano|BenchmarkFig4VolcanoParallel' -benchmem .
 	$(GO) test -run NONE -bench 'BenchmarkCollectMoves|BenchmarkWinnerLookup' -benchmem ./internal/core/
+
+# Guided branch-and-bound A/B: the guided/unguided benchmark pair and
+# the fig4guided cost-identity experiment (plan costs must match).
+bench-guided:
+	$(GO) test -run NONE -bench 'BenchmarkFig4Volcano$$|BenchmarkFig4VolcanoUnguided' -benchmem .
+	$(GO) run ./cmd/volcano-bench -experiment fig4guided -json ""

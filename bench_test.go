@@ -47,9 +47,10 @@ func workload(b *testing.B, n, count int) (*rel.Catalog, []datagen.Query) {
 	return cat, queries
 }
 
-// BenchmarkFig4Volcano measures Volcano optimization time per query at
-// each complexity level of Figure 4.
-func BenchmarkFig4Volcano(b *testing.B) {
+// benchmarkFig4Volcano measures Volcano optimization time per query at
+// each complexity level of Figure 4, with or without the greedy seed
+// planner guiding branch-and-bound.
+func benchmarkFig4Volcano(b *testing.B, guided bool) {
 	for n := 2; n <= 8; n++ {
 		b.Run(fmt.Sprintf("rels=%d", n), func(b *testing.B) {
 			cat, queries := workload(b, n, 32)
@@ -57,12 +58,16 @@ func BenchmarkFig4Volcano(b *testing.B) {
 			// generator output, not per-query optimization work, so it
 			// stays outside the measured region.
 			model := relopt.New(cat, relopt.DefaultConfig())
+			var opts *core.Options
+			if guided {
+				opts = &core.Options{SeedPlanner: model.SeedPlanner()}
+			}
 			var cost float64
 			var mem int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				q := queries[i%len(queries)]
-				opt := core.NewOptimizer(model, nil)
+				opt := core.NewOptimizer(model, opts)
 				root := opt.InsertQuery(q.Root)
 				plan, err := opt.Optimize(root, relopt.SortedOn(q.OrderBy))
 				if err != nil || plan == nil {
@@ -76,6 +81,16 @@ func BenchmarkFig4Volcano(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFig4Volcano is the production configuration: guided
+// branch-and-bound seeded by the greedy join-ordering planner (the seed
+// planning time is inside the measured region — it is part of each
+// query's optimization).
+func BenchmarkFig4Volcano(b *testing.B) { benchmarkFig4Volcano(b, true) }
+
+// BenchmarkFig4VolcanoUnguided is the cold-start A/B counterpart: plain
+// exhaustive search with no seed plan.
+func BenchmarkFig4VolcanoUnguided(b *testing.B) { benchmarkFig4Volcano(b, false) }
 
 // BenchmarkFig4VolcanoParallel measures batch throughput of the
 // shared-nothing worker-pool driver on the Figure-4 workload, at pool

@@ -1,9 +1,10 @@
 // Command volcano-bench regenerates the paper's evaluation and the
 // repository's ablation experiments:
 //
-//	volcano-bench -experiment fig4      # Figure 4: Volcano vs EXODUS
-//	volcano-bench -experiment fig4par   # worker-pool throughput sweep
-//	volcano-bench -experiment ablation  # pruning / failure memo / glue mode
+//	volcano-bench -experiment fig4       # Figure 4: Volcano vs EXODUS
+//	volcano-bench -experiment fig4guided # guided B&B vs exhaustive A/B
+//	volcano-bench -experiment fig4par    # worker-pool throughput sweep
+//	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
 //	volcano-bench -experiment all
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -73,6 +74,8 @@ func main() {
 		case "fig4":
 			fig4Points = fig4.Run(cfg)
 			fmt.Print(fig4.Format(fig4Points))
+		case "fig4guided":
+			fmt.Print(fig4.FormatGuided(fig4.RunGuided(cfg)))
 		case "fig4par":
 			sweep := fig4.RunVolcanoSweep(cfg, *workers)
 			fig4Sweep = &sweep
@@ -103,7 +106,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
 			run(name)
 		}
 	} else {

@@ -35,6 +35,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print search-trace events")
 	baseline := flag.Bool("baseline", false, "also optimize with the EXODUS-style baseline")
 	stats := flag.Bool("stats", false, "print search statistics")
+	guided := flag.Bool("guided", false, "seed branch-and-bound with the greedy join-ordering plan")
 	memo := flag.Bool("memo", false, "dump the memo (classes, expressions, winners)")
 	dot := flag.Bool("dot", false, "print the plan as a Graphviz digraph")
 	flag.Parse()
@@ -61,6 +62,9 @@ func main() {
 		}
 	}
 	model := relopt.New(cat, relopt.DefaultConfig())
+	if *guided {
+		opts.SeedPlanner = model.SeedPlanner()
+	}
 	opt := core.NewOptimizer(model, opts)
 	root := opt.InsertQuery(st.Tree)
 	var required core.PhysProps
@@ -80,6 +84,15 @@ func main() {
 	fmt.Printf("optimized in %v (%d classes, %d expressions)\n\n",
 		elapsed, opt.Stats().Groups, opt.Stats().Exprs)
 	fmt.Print(plan.Format())
+	if *guided {
+		s := opt.Stats()
+		if s.SeedCost == nil {
+			fmt.Printf("\nguided: seed planner declined; search ran unguided\n")
+		} else {
+			fmt.Printf("\nguided: seed cost %v, final cost %v, %d limit stage(s), %d goals pruned, %d moves skipped\n",
+				s.SeedCost, plan.Cost, s.LimitStages, s.GoalsPruned, s.MovesSkipped)
+		}
+	}
 	if *stats {
 		fmt.Printf("\nsearch statistics: %+v\n", *opt.Stats())
 	}

@@ -34,11 +34,12 @@ func main() {
 	tables := flag.Int("tables", 4, "number of demo tables")
 	limit := flag.Int("limit", 10, "rows displayed per query")
 	dataDir := flag.String("data", "", "directory of <table>.csv files to load instead of the demo database")
+	guided := flag.Bool("guided", false, "seed branch-and-bound with the greedy join-ordering plan")
 	flag.Parse()
 
-	r := &repl{limit: *limit, tables: *tables}
+	r := &repl{limit: *limit, tables: *tables, guided: *guided}
 	if *dataDir != "" {
-		db, err := vdb.OpenDir(*dataDir, nil)
+		db, err := vdb.OpenDir(*dataDir, &vdb.Options{Guided: r.guided})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
 			os.Exit(1)
@@ -67,12 +68,13 @@ type repl struct {
 	seed   int64
 	tables int
 	limit  int
+	guided bool
 }
 
 func (r *repl) reset(seed int64) {
 	src := datagen.New(seed)
 	r.cat = src.Catalog(r.tables)
-	r.db = vdb.Open(r.cat, src.Rows(r.cat), nil)
+	r.db = vdb.Open(r.cat, src.Rows(r.cat), &vdb.Options{Guided: r.guided})
 	r.seed = seed
 }
 
@@ -127,7 +129,12 @@ func (r *repl) memo(sql string) {
 		fmt.Println("error:", err)
 		return
 	}
-	opt := core.NewOptimizer(relopt.New(r.cat, relopt.DefaultConfig()), nil)
+	model := relopt.New(r.cat, relopt.DefaultConfig())
+	var opts *core.Options
+	if r.guided {
+		opts = &core.Options{SeedPlanner: model.SeedPlanner()}
+	}
+	opt := core.NewOptimizer(model, opts)
 	root := opt.InsertQuery(st.Tree)
 	if _, err := opt.Optimize(root, st.Required); err != nil {
 		fmt.Println("error:", err)
@@ -153,4 +160,12 @@ func (r *repl) query(sql string) {
 	}
 	fmt.Printf("%d rows; %d classes, %d expressions explored\n",
 		len(res.Rows), res.Stats.Groups, res.Stats.Exprs)
+	if r.guided {
+		if res.Stats.SeedCost == nil {
+			fmt.Println("guided: seed planner declined; search ran unguided")
+		} else {
+			fmt.Printf("guided: seed cost %v, final cost %v, %d limit stage(s)\n",
+				res.Stats.SeedCost, res.Plan.Cost, res.Stats.LimitStages)
+		}
+	}
 }

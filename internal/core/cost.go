@@ -36,6 +36,20 @@ type Cost interface {
 	String() string
 }
 
+// ScalableCost is an optional extension of the cost ADT for cost types
+// that can be multiplied by a scalar. Guided search uses it to relax an
+// infeasible seed limit geometrically (iterative deepening) instead of
+// jumping straight to the caller's limit. Cost types that do not
+// implement it skip the intermediate stages: after a failed seed stage
+// the search falls back to the caller's limit directly.
+type ScalableCost interface {
+	Cost
+	// Scale returns the receiver multiplied by factor (factor > 1 for
+	// limit relaxation). Like the other arithmetic methods it must not
+	// mutate the receiver.
+	Scale(factor float64) Cost
+}
+
 // CostModel supplies the distinguished cost values the search engine
 // needs: a zero for accumulation and an infinity for initial limits.
 // It is part of the Model interface.

@@ -37,6 +37,14 @@ type Group struct {
 	// merge epoch has advanced past the set's epoch.
 	moveSets map[physKey]*moveSet
 
+	// floor memoizes the model's admissible cost floor for the class;
+	// floorSet distinguishes a computed nil ("model declined") from
+	// not-yet-computed. Logical properties are fixed at class creation
+	// and merges only unite equivalent classes, so one computation per
+	// class is sound.
+	floor    Cost
+	floorSet bool
+
 	// explored is set once the group's logical expressions have been
 	// expanded to transformation-rule fixpoint.
 	explored bool

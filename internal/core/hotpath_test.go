@@ -18,12 +18,12 @@ const (
 
 type hpLeaf struct{ id int }
 
-func (l *hpLeaf) Kind() OpKind             { return hpKindLeaf }
-func (l *hpLeaf) Arity() int               { return 0 }
+func (l *hpLeaf) Kind() OpKind               { return hpKindLeaf }
+func (l *hpLeaf) Arity() int                 { return 0 }
 func (l *hpLeaf) ArgsEqual(o LogicalOp) bool { return l.id == o.(*hpLeaf).id }
-func (l *hpLeaf) ArgsHash() uint64         { return uint64(l.id)*2654435761 + 17 }
-func (l *hpLeaf) Name() string             { return "HPLEAF" }
-func (l *hpLeaf) String() string           { return fmt.Sprintf("HPLEAF(%d)", l.id) }
+func (l *hpLeaf) ArgsHash() uint64           { return uint64(l.id)*2654435761 + 17 }
+func (l *hpLeaf) Name() string               { return "HPLEAF" }
+func (l *hpLeaf) String() string             { return fmt.Sprintf("HPLEAF(%d)", l.id) }
 
 type hpNode struct{}
 
@@ -48,10 +48,10 @@ func (t hpTint) String() string          { return fmt.Sprintf("tint%d", int(t)) 
 
 type hpCost float64
 
-func (c hpCost) Add(o Cost) Cost { return c + o.(hpCost) }
-func (c hpCost) Sub(o Cost) Cost { return c - o.(hpCost) }
+func (c hpCost) Add(o Cost) Cost  { return c + o.(hpCost) }
+func (c hpCost) Sub(o Cost) Cost  { return c - o.(hpCost) }
 func (c hpCost) Less(o Cost) bool { return c < o.(hpCost) }
-func (c hpCost) String() string  { return fmt.Sprintf("%.1f", float64(c)) }
+func (c hpCost) String() string   { return fmt.Sprintf("%.1f", float64(c)) }
 
 type hpPhys struct{ name string }
 

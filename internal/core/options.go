@@ -43,6 +43,27 @@ type Options struct {
 	// pursue. Returning a subset makes the search heuristic rather
 	// than exhaustive.
 	MoveFilter func(moves []Move) []Move
+	// SeedPlanner, if non-nil, switches Optimize and OptimizeWithLimit
+	// to guided branch-and-bound: the planner produces a cheap complete
+	// plan before the exhaustive search runs, and the seed's cost
+	// becomes the initial cost limit. The seeded limit is inclusive —
+	// an optimal plan costing exactly the seed is never pruned away —
+	// and if it proves infeasible (the seed underestimated), the search
+	// retries under geometrically relaxed limits before falling back to
+	// the caller's limit, reusing the winner and failure tables across
+	// stages. Guided search returns only plans found by the search
+	// engine, never the seed itself, so the returned plan and its cost
+	// are identical to an unguided exhaustive run.
+	SeedPlanner SeedPlanner
+	// SeedStages is the number of seeded limit stages guided search
+	// runs before the final stage at the caller's limit; values < 1
+	// mean DefaultSeedStages.
+	SeedStages int
+	// SeedGrowth is the geometric factor applied to the cost limit
+	// between seeded stages; values <= 1 mean DefaultSeedGrowth. It
+	// takes effect only when the model's cost type implements
+	// ScalableCost.
+	SeedGrowth float64
 	// Trace, if non-nil, receives search-trace events.
 	Trace TraceFunc
 }
@@ -128,4 +149,22 @@ type Stats struct {
 	ConsistencyViolations int
 	// PeakMemoBytes is the largest memo size estimate observed.
 	PeakMemoBytes int
+
+	// SeedCost is the cost of the seed plan guided search started from;
+	// nil when the run was unguided or the seed planner produced
+	// nothing.
+	SeedCost Cost
+	// LimitStages counts the branch-and-bound stages guided search ran:
+	// 1 when the seeded limit sufficed immediately, more when the limit
+	// had to be relaxed.
+	LimitStages int
+	// GoalsPruned counts goals that completed without finding any plan
+	// within their cost limit — the definitive bound-failures a tight
+	// initial limit produces (transient failures from cycles or budget
+	// stops are not counted).
+	GoalsPruned int
+	// MovesSkipped counts moves abandoned on their algorithm's or
+	// enforcer's local cost alone, before any input was optimized — the
+	// cheapest kind of pruning, and the one a seeded limit multiplies.
+	MovesSkipped int
 }

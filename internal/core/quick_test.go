@@ -84,6 +84,8 @@ func TestQuickPruningAndMemoInvariant(t *testing.T) {
 		{NoPruning: true},
 		{NoFailureMemo: true},
 		{NoPruning: true, NoFailureMemo: true},
+		{SeedPlanner: core.SyntacticSeedPlanner()},
+		{SeedPlanner: core.SyntacticSeedPlanner(), NoFailureMemo: true},
 	}
 	check := func(s toyShape) bool {
 		want := toyOptimum(s.leaves, true)

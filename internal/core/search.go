@@ -19,6 +19,9 @@ type Optimizer struct {
 	opts  Options
 	stats Stats
 	ctx   *RuleContext
+	// lower is the model's admissible cost floor, when it provides one
+	// (see LowerBounder); nil otherwise.
+	lower LowerBounder
 }
 
 // NewOptimizer creates an optimizer for the model. opts may be nil for
@@ -29,6 +32,7 @@ func NewOptimizer(model Model, opts *Options) *Optimizer {
 			model.Name(), n, MaxTransformRules))
 	}
 	o := &Optimizer{model: model}
+	o.lower, _ = model.(LowerBounder)
 	if opts != nil {
 		o.opts = *opts
 	}
@@ -77,6 +81,7 @@ func (o *Optimizer) Optimize(root GroupID, required PhysProps) (*Plan, error) {
 
 // OptimizeWithLimit is Optimize with a caller-supplied cost limit; a
 // user interface may set a finite limit to "catch" unreasonable queries.
+// The limit is inclusive: a plan costing exactly the limit is within it.
 // If no plan within the limit exists, the returned plan is nil.
 func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Cost) (*Plan, error) {
 	if root == InvalidGroup {
@@ -89,10 +94,13 @@ func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Co
 		required = o.model.AnyProps()
 	}
 	var plan *Plan
-	if o.opts.GlueMode {
+	switch {
+	case o.opts.GlueMode:
 		plan = o.glueOptimize(root, required, limit)
-	} else {
-		plan, _ = o.findBestPlan(root, required, nil, limit)
+	case o.opts.SeedPlanner != nil:
+		plan = o.guidedOptimize(root, required, limit)
+	default:
+		plan, _ = o.findBestPlan(root, required, nil, limit, true)
 	}
 	if err := o.memo.Err(); err != nil {
 		return nil, err
@@ -101,6 +109,16 @@ func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Co
 		o.stats.PeakMemoBytes = b
 	}
 	return plan, nil
+}
+
+// classFloor returns the memoized admissible cost floor for a class, or
+// nil when the model declines. Only called when o.lower is non-nil.
+func (o *Optimizer) classFloor(g *Group) Cost {
+	if !g.floorSet {
+		g.floor = o.lower.LowerBound(g.logProps)
+		g.floorSet = true
+	}
+	return g.floor
 }
 
 // trace emits a search-trace event if tracing is enabled.
@@ -118,6 +136,12 @@ type goal struct {
 	// plans are found.
 	limit Cost
 	best  *Plan
+	// inclusive makes the bound admit plans costing exactly limit.
+	// Seeded limits are inclusive: the seed's cost is achievable, so an
+	// optimal plan equal to it must not be pruned. The flag clears as
+	// soon as an incumbent plan is installed — from then on only
+	// strictly cheaper plans are improvements.
+	inclusive bool
 	// transient is set when a failure was (possibly) caused by an
 	// in-progress cycle or budget stop, making it unsafe to memoize.
 	transient bool
@@ -126,8 +150,11 @@ type goal struct {
 // findBestPlan is the paper's FindBestPlan (Figure 2) extended with the
 // excluding physical property vector used for enforcer inputs. It
 // returns the best plan within limit, or nil; transient reports that a
-// nil result must not be treated as a definitive failure.
-func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limit Cost) (plan *Plan, transient bool) {
+// nil result must not be treated as a definitive failure. inclusive
+// widens the bound to admit plans costing exactly limit (seeded limits);
+// input goals inherit the inclusivity their parent goal has at the time
+// they are optimized.
+func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limit Cost, inclusive bool) (plan *Plan, transient bool) {
 	if o.memo.err != nil {
 		return nil, true
 	}
@@ -152,9 +179,30 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 			// be met by any other plan.
 			return nil, false
 		}
-		if !o.opts.NoFailureMemo && w.failedLimit != nil && costLE(limit, w.failedLimit) {
-			o.stats.FailureHits++
-			return nil, false
+		if !o.opts.NoFailureMemo && w.failedLimit != nil {
+			// A recorded failure at limit F certifies that no plan
+			// costs strictly less than F. An exclusive query at
+			// limit <= F is therefore hopeless; an inclusive query
+			// additionally admits cost == limit, so it may reuse the
+			// failure only when limit < F strictly.
+			if costLE(limit, w.failedLimit) && (!inclusive || limit.Less(w.failedLimit)) {
+				o.stats.FailureHits++
+				return nil, false
+			}
+		}
+	}
+
+	// An admissible cost floor can refute the goal outright: when even
+	// the floor breaks the bound, no plan within the limit exists, and
+	// the class need not be explored nor its moves collected at all.
+	// This is where a finite seeded limit saves work that incumbent-
+	// driven pruning cannot: it is in force before any plan exists.
+	if o.lower != nil && !o.opts.NoPruning {
+		if lb := o.classFloor(g); lb != nil {
+			if inclusive && limit.Less(lb) || !inclusive && costLE(limit, lb) {
+				o.stats.GoalsPruned++
+				return nil, false
+			}
 		}
 	}
 
@@ -189,7 +237,7 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 		mk = keyOf(required)
 	}
 
-	s := &goal{required: required, excluded: excluded, limit: limit}
+	s := &goal{required: required, excluded: excluded, limit: limit, inclusive: inclusive}
 	// done is this activation's pursuit frontier into the cached move
 	// set: moves[:done] have been pursued. It resets when the cache is
 	// voided or the class merges onto another (curMS/curGen detect
@@ -273,11 +321,14 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 		}
 		return nil, false
 	}
-	if !s.transient && !o.opts.NoFailureMemo {
-		if fw.failedLimit == nil || fw.failedLimit.Less(limit) {
-			fw.failedLimit = limit
+	if !s.transient {
+		o.stats.GoalsPruned++
+		if !o.opts.NoFailureMemo {
+			if fw.failedLimit == nil || fw.failedLimit.Less(limit) {
+				fw.failedLimit = limit
+			}
+			o.trace("failure group=%d props=%s limit=%s", gid, required, limit)
 		}
-		o.trace("failure group=%d props=%s limit=%s", gid, required, limit)
 	}
 	return nil, s.transient
 }
@@ -292,6 +343,12 @@ func (o *Optimizer) collectMoves(g *Group, required PhysProps) []Move {
 	for _, rule := range o.model.ImplementationRules() {
 		for i := 0; i < len(g.exprs); i++ {
 			e := g.exprs[i]
+			// The O(1) root test screens the pair before it counts as a
+			// match attempt — same convention as exploreGroup.
+			if !kindMatches(rule.Pattern.Kind, e.Op.Kind()) ||
+				len(rule.Pattern.Children) != len(e.Inputs) {
+				continue
+			}
 			o.stats.MatchCalls++
 			o.memo.matchBindings(e, rule.Pattern, func(b *Binding) bool {
 				if rule.Condition != nil && !rule.Condition(o.ctx, b) {
@@ -334,6 +391,12 @@ func (o *Optimizer) collectMovesInto(ms *moveSet, g *Group, required PhysProps) 
 	for _, rule := range o.model.ImplementationRules() {
 		for i := ms.matched; i < len(g.exprs); i++ {
 			e := g.exprs[i]
+			// Root-kind screening, as in collectMoves: a pair the O(1)
+			// test rejects is not a match attempt.
+			if !kindMatches(rule.Pattern.Kind, e.Op.Kind()) ||
+				len(rule.Pattern.Children) != len(e.Inputs) {
+				continue
+			}
 			o.stats.MatchCalls++
 			o.memo.matchBindings(e, rule.Pattern, func(b *Binding) bool {
 				if rule.Condition != nil && !rule.Condition(o.ctx, b) {
@@ -384,9 +447,18 @@ func cloneBinding(b *Binding) *Binding {
 }
 
 // prune reports whether a partial cost already reaches the bound; such
-// moves cannot lead to a better plan and are abandoned.
+// moves cannot lead to a better plan and are abandoned. An inclusive
+// goal admits partial costs equal to the bound — a complete plan at
+// exactly the (seeded) limit is acceptable.
 func (o *Optimizer) prune(s *goal, partial Cost) bool {
 	if o.opts.NoPruning {
+		return false
+	}
+	if s.inclusive {
+		if s.limit.Less(partial) {
+			o.stats.Pruned++
+			return true
+		}
 		return false
 	}
 	if costLE(s.limit, partial) {
@@ -397,22 +469,33 @@ func (o *Optimizer) prune(s *goal, partial Cost) bool {
 }
 
 // childLimit is the cost limit passed down when optimizing an input:
-// the remaining budget after the partial cost accumulated so far.
+// the remaining budget after the partial cost accumulated so far. Under
+// an inclusive bound the partial cost may equal the limit exactly, and
+// componentwise cost subtraction can round the remainder slightly below
+// zero; the result is clamped so a legitimate zero-budget child goal is
+// not turned into a spurious (and memoized) failure.
 func (o *Optimizer) childLimit(s *goal, partial Cost) Cost {
 	if o.opts.NoPruning {
 		return o.model.InfiniteCost()
 	}
-	return s.limit.Sub(partial)
+	rem := s.limit.Sub(partial)
+	if zero := o.model.ZeroCost(); rem.Less(zero) {
+		return zero
+	}
+	return rem
 }
 
 // offer installs a complete plan as the goal's best if it improves on
-// the current one, tightening the branch-and-bound limit.
+// the current one, tightening the branch-and-bound limit. Once an
+// incumbent exists the bound turns exclusive: only strictly cheaper
+// plans remain interesting.
 func (o *Optimizer) offer(s *goal, p *Plan) {
 	if s.best == nil || p.Cost.Less(s.best.Cost) {
 		s.best = p
-		if !o.opts.NoPruning && p.Cost.Less(s.limit) {
+		if !o.opts.NoPruning && (p.Cost.Less(s.limit) || (s.inclusive && costLE(p.Cost, s.limit))) {
 			s.limit = p.Cost
 		}
+		s.inclusive = false
 	}
 }
 
@@ -426,6 +509,23 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 	if leaves == nil {
 		leaves = b.Leaves(nil)
 	}
+	// Admissible input floors sharpen the bound: every input will cost
+	// at least its floor, so inputs not yet optimized are charged their
+	// floors both when pruning and when budgeting a sibling's limit.
+	var floors []Cost
+	var floorSum Cost
+	if o.lower != nil && !o.opts.NoPruning {
+		floorSum = o.model.ZeroCost()
+		floors = make([]Cost, len(leaves))
+		for i, leaf := range leaves {
+			floors[i] = o.model.ZeroCost()
+			lg := o.memo.groups[o.memo.Find(leaf)-1]
+			if lb := o.classFloor(lg); lb != nil {
+				floors[i] = lb
+			}
+			floorSum = floorSum.Add(floors[i])
+		}
+	}
 	for _, alt := range mv.Alts {
 		if len(alt.Required) != len(leaves) {
 			panic(fmt.Sprintf("core: rule %s returned %d input requirements for %d inputs",
@@ -433,7 +533,16 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 		}
 		local := rule.Cost(o.ctx, b, s.required, alt)
 		total := local
-		if o.prune(s, total) {
+		// rest is the floor mass of the inputs still to be optimized; it
+		// shrinks as each input's actual cost is folded into total.
+		var rest Cost
+		charged := total
+		if floors != nil {
+			rest = floorSum
+			charged = total.Add(rest)
+		}
+		if o.prune(s, charged) {
+			o.stats.MovesSkipped++
 			continue
 		}
 		inPlans := make([]*Plan, len(leaves))
@@ -444,7 +553,12 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 			if o.opts.GlueMode {
 				childReq = o.model.AnyProps()
 			}
-			p, tr := o.findBestPlan(leaf, childReq, nil, o.childLimit(s, total))
+			partial := total
+			if floors != nil {
+				rest = rest.Sub(floors[i])
+				partial = total.Add(rest)
+			}
+			p, tr := o.findBestPlan(leaf, childReq, nil, o.childLimit(s, partial), s.inclusive)
 			if p == nil {
 				s.transient = s.transient || tr
 				ok = false
@@ -461,7 +575,11 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 			inPlans[i] = p
 			inProps[i] = p.Delivered
 			total = total.Add(p.Cost)
-			if o.prune(s, total) {
+			charged = total
+			if floors != nil {
+				charged = total.Add(rest)
+			}
+			if o.prune(s, charged) {
 				ok = false
 				break
 			}
@@ -517,10 +635,19 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 	o.stats.EnforcerMoves++
 	local := enf.Cost(o.ctx, g.logProps, s.required)
 	total := local
-	if o.prune(s, total) {
+	charged := total
+	if o.lower != nil && !o.opts.NoPruning {
+		// The enforcer's input is this same class, so the class floor is
+		// a sound advance charge for the input plan.
+		if lb := o.classFloor(g); lb != nil {
+			charged = total.Add(lb)
+		}
+	}
+	if o.prune(s, charged) {
+		o.stats.MovesSkipped++
 		return
 	}
-	in, tr := o.findBestPlan(g.id, relaxed, excl, o.childLimit(s, total))
+	in, tr := o.findBestPlan(g.id, relaxed, excl, o.childLimit(s, total), s.inclusive)
 	if in == nil {
 		s.transient = s.transient || tr
 		return
@@ -560,7 +687,7 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 // to the plan after the fact instead of letting properties direct the
 // search.
 func (o *Optimizer) glueOptimize(root GroupID, required PhysProps, limit Cost) *Plan {
-	p, _ := o.findBestPlan(root, o.model.AnyProps(), nil, limit)
+	p, _ := o.findBestPlan(root, o.model.AnyProps(), nil, limit, true)
 	if p == nil {
 		return nil
 	}

@@ -82,6 +82,7 @@ type toyCost float64
 func (c toyCost) Add(o core.Cost) core.Cost { return c + o.(toyCost) }
 func (c toyCost) Sub(o core.Cost) core.Cost { return c - o.(toyCost) }
 func (c toyCost) Less(o core.Cost) bool     { return c < o.(toyCost) }
+func (c toyCost) Scale(f float64) core.Cost { return toyCost(float64(c) * f) }
 func (c toyCost) String() string            { return fmt.Sprintf("%.1f", float64(c)) }
 
 // toyPhys is every toy physical operator.

@@ -40,6 +40,11 @@ type Config struct {
 	ExodusMaxNodes int
 	// ExodusTimeout bounds the baseline's per-query time.
 	ExodusTimeout time.Duration
+	// Unguided disables the greedy seed planner on the Volcano side.
+	// The default (guided) is the engine's production configuration;
+	// guidance never changes plan costs, only search effort — the
+	// fig4guided experiment verifies exactly that.
+	Unguided bool
 }
 
 // Defaults fills unset fields with the paper's parameters.
@@ -92,6 +97,13 @@ type Point struct {
 	// match-call mean quantifies the rule-matching work the incremental
 	// move collection avoids.
 	VolcanoGoals, VolcanoMatchCalls, VolcanoMovesReused float64
+	// VolcanoSeedCost is the mean greedy-seed cost (guided runs only;
+	// zero when Unguided). VolcanoLimitStages, VolcanoGoalsPruned, and
+	// VolcanoMovesSkipped are the guided-search telemetry means: limit
+	// stages used, goals refuted by the bound, and moves abandoned
+	// before their inputs were optimized.
+	VolcanoSeedCost                                             float64
+	VolcanoLimitStages, VolcanoGoalsPruned, VolcanoMovesSkipped float64
 }
 
 // Run executes the Figure-4 experiment and returns one point per
@@ -101,6 +113,16 @@ func Run(cfg Config) []Point {
 	src := datagen.New(cfg.Seed)
 	cat := src.Catalog(cfg.MaxRelations)
 
+	// The production configuration seeds the search with the greedy
+	// join-ordering planner; the planner closure is shared across
+	// queries (it is stateless beyond catalog statistics).
+	var volOpts *core.Options
+	if !cfg.Unguided {
+		volOpts = &core.Options{
+			SeedPlanner: relopt.New(cat, relopt.DefaultConfig()).SeedPlanner(),
+		}
+	}
+
 	var points []Point
 	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
 		pt := Point{Relations: n, Queries: cfg.QueriesPerLevel}
@@ -108,10 +130,11 @@ func Run(cfg Config) []Point {
 		var volSamples, exoSamples []float64
 		var volMem, exoMem, completed int
 		var volGoals, volMatches, volReused int
+		var volSeed, volStages, volPruned, volSkipped float64
 		for q := 0; q < cfg.QueriesPerLevel; q++ {
 			query := src.SelectJoinQuery(cat, n, cfg.Shape)
 
-			vms, vcost, vstats, err := MeasureVolcano(cat, query, nil)
+			vms, vcost, vstats, err := MeasureVolcano(cat, query, volOpts)
 			if err != nil {
 				panic(fmt.Sprintf("fig4: volcano failed on %d relations: %v", n, err))
 			}
@@ -130,6 +153,12 @@ func Run(cfg Config) []Point {
 			volGoals += vstats.GoalsOptimized
 			volMatches += vstats.MatchCalls
 			volReused += vstats.MovesReused
+			if sc, ok := vstats.SeedCost.(relopt.Cost); ok {
+				volSeed += sc.Total()
+			}
+			volStages += float64(vstats.LimitStages)
+			volPruned += float64(vstats.GoalsPruned)
+			volSkipped += float64(vstats.MovesSkipped)
 		}
 		if completed > 0 {
 			f := float64(completed)
@@ -143,6 +172,10 @@ func Run(cfg Config) []Point {
 			pt.VolcanoGoals = float64(volGoals) / f
 			pt.VolcanoMatchCalls = float64(volMatches) / f
 			pt.VolcanoMovesReused = float64(volReused) / f
+			pt.VolcanoSeedCost = volSeed / f
+			pt.VolcanoLimitStages = volStages / f
+			pt.VolcanoGoalsPruned = volPruned / f
+			pt.VolcanoMovesSkipped = volSkipped / f
 		}
 		pt.ExodusCompleted = completed
 		points = append(points, pt)

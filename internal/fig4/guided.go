@@ -1,0 +1,114 @@
+package fig4
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relopt"
+)
+
+// The fig4guided experiment A/B-tests guided branch-and-bound against
+// plain exhaustive search on the Figure-4 workload: same queries, same
+// cost model, one run seeded by the greedy join-ordering planner and one
+// cold. Guidance must be invisible in the results — plan costs exactly
+// equal at every level — while the telemetry shows what the seed bought:
+// goals refuted by the bound before exploration, moves skipped, and how
+// honest the greedy seed's cost estimate is against the true optimum.
+
+// GuidedPoint is one complexity level of the guided-vs-exhaustive A/B.
+type GuidedPoint struct {
+	// Relations is the number of input relations.
+	Relations int
+	// Queries is the number of queries measured.
+	Queries int
+	// CostMismatches counts queries where the guided plan cost differed
+	// from the exhaustive one; any non-zero value is a correctness bug.
+	CostMismatches int
+	// UnguidedMS and GuidedMS are mean optimization times.
+	UnguidedMS, GuidedMS float64
+	// UnguidedMatches and GuidedMatches are mean implementation-rule
+	// match attempts per query.
+	UnguidedMatches, GuidedMatches float64
+	// SeedOverOptimum is the mean ratio of the greedy seed's cost to the
+	// optimal plan cost (1.0 = the seed is already optimal).
+	SeedOverOptimum float64
+	// LimitStages is the mean number of limit stages per guided run; 1
+	// means the inclusive seeded stage always sufficed.
+	LimitStages float64
+	// GoalsPruned and MovesSkipped are mean counts of goals refuted by
+	// the bound (including floor refutations that skipped exploration
+	// entirely) and moves abandoned before input optimization.
+	GoalsPruned, MovesSkipped float64
+}
+
+// RunGuided executes the guided-vs-exhaustive A/B on the Figure-4
+// workload and returns one point per complexity level.
+func RunGuided(cfg Config) []GuidedPoint {
+	cfg = cfg.Defaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	var points []GuidedPoint
+	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+		pt := GuidedPoint{Relations: n, Queries: cfg.QueriesPerLevel}
+		var uMS, gMS, uMatch, gMatch, seedRatio, stages, pruned, skipped float64
+		for q := 0; q < cfg.QueriesPerLevel; q++ {
+			query := src.SelectJoinQuery(cat, n, cfg.Shape)
+
+			ums, ucost, ustats, err := MeasureVolcano(cat, query, nil)
+			if err != nil {
+				panic(fmt.Sprintf("fig4: exhaustive failed on %d relations: %v", n, err))
+			}
+			gms, gcost, gstats, err := MeasureVolcano(cat, query, &core.Options{
+				SeedPlanner: model.SeedPlanner(),
+			})
+			if err != nil {
+				panic(fmt.Sprintf("fig4: guided failed on %d relations: %v", n, err))
+			}
+			if gcost != ucost {
+				pt.CostMismatches++
+			}
+			uMS += ums
+			gMS += gms
+			uMatch += float64(ustats.MatchCalls)
+			gMatch += float64(gstats.MatchCalls)
+			if sc, ok := gstats.SeedCost.(relopt.Cost); ok && ucost > 0 {
+				seedRatio += sc.Total() / ucost
+			}
+			stages += float64(gstats.LimitStages)
+			pruned += float64(gstats.GoalsPruned)
+			skipped += float64(gstats.MovesSkipped)
+		}
+		f := float64(cfg.QueriesPerLevel)
+		pt.UnguidedMS = uMS / f
+		pt.GuidedMS = gMS / f
+		pt.UnguidedMatches = uMatch / f
+		pt.GuidedMatches = gMatch / f
+		pt.SeedOverOptimum = seedRatio / f
+		pt.LimitStages = stages / f
+		pt.GoalsPruned = pruned / f
+		pt.MovesSkipped = skipped / f
+		points = append(points, pt)
+	}
+	return points
+}
+
+// FormatGuided renders the A/B table.
+func FormatGuided(points []GuidedPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Guided branch-and-bound vs exhaustive search (plan costs must match)\n")
+	fmt.Fprintf(&b, "%-5s %10s %10s %11s %11s %8s %7s %8s %8s %9s\n",
+		"rels", "plain-ms", "guided-ms", "plain-match", "guided-match",
+		"seed/opt", "stages", "pruned", "skipped", "mismatch")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-5d %10.3f %10.3f %11.1f %11.1f %7.2fx %7.2f %8.1f %8.1f %9d\n",
+			p.Relations, p.UnguidedMS, p.GuidedMS,
+			p.UnguidedMatches, p.GuidedMatches,
+			p.SeedOverOptimum, p.LimitStages, p.GoalsPruned, p.MovesSkipped,
+			p.CostMismatches)
+	}
+	return b.String()
+}

@@ -37,6 +37,10 @@ type BenchPoint struct {
 	VolcanoGoals     float64 `json:"volcano_goals_optimized"`
 	VolcanoMatches   float64 `json:"volcano_match_calls"`
 	VolcanoReused    float64 `json:"volcano_moves_reused"`
+	VolcanoSeedCost  float64 `json:"volcano_seed_cost,omitempty"`
+	VolcanoStages    float64 `json:"volcano_limit_stages,omitempty"`
+	VolcanoPruned    float64 `json:"volcano_goals_pruned,omitempty"`
+	VolcanoSkipped   float64 `json:"volcano_moves_skipped,omitempty"`
 	ExodusMS         float64 `json:"exodus_ms"`
 	ExodusStdDevMS   float64 `json:"exodus_stddev_ms"`
 	ExodusCost       float64 `json:"exodus_plan_cost"`
@@ -70,6 +74,10 @@ func NewBenchReport(cfg Config, points []Point, sweep *Sweep) BenchReport {
 			VolcanoGoals:     p.VolcanoGoals,
 			VolcanoMatches:   p.VolcanoMatchCalls,
 			VolcanoReused:    p.VolcanoMovesReused,
+			VolcanoSeedCost:  p.VolcanoSeedCost,
+			VolcanoStages:    p.VolcanoLimitStages,
+			VolcanoPruned:    p.VolcanoGoalsPruned,
+			VolcanoSkipped:   p.VolcanoMovesSkipped,
 			ExodusMS:         p.ExodusMS,
 			ExodusStdDevMS:   p.ExodusStdDevMS,
 			ExodusCost:       p.ExodusCost,

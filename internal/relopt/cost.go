@@ -45,6 +45,15 @@ func (c Cost) Less(other core.Cost) bool {
 	return c.Total() < other.(Cost).Total()
 }
 
+// Scale returns the componentwise multiple; guided search uses it to
+// relax an infeasible seed limit geometrically. Scaling an infinite cost
+// leaves it infinite.
+func (c Cost) Scale(factor float64) core.Cost {
+	return Cost{IO: c.IO * factor, CPU: c.CPU * factor}
+}
+
+var _ core.ScalableCost = Cost{}
+
 // String renders the record.
 func (c Cost) String() string {
 	if math.IsInf(c.IO, 1) {

@@ -29,11 +29,7 @@ func (m *Model) sortEnforcer() *core.Enforcer {
 				// Partition-local sorts work on a fraction of the rows.
 				rows /= float64(rp.Part.Degree)
 			}
-			// Single-level merge: runs are written once and read once.
-			return Cost{
-				IO:  2 * p.Pages(m.Cfg.Params.PageBytes) * m.Cfg.Params.SpillIO,
-				CPU: rows * log2(rows) * m.Cfg.Params.CPUCompare,
-			}
+			return m.sortCost(p, rows)
 		},
 		Delivered: func(ctx *core.RuleContext, required core.PhysProps, input core.PhysProps) core.PhysProps {
 			rp := reqProps(required)

@@ -71,11 +71,7 @@ func (m *Model) fileScanRule() *core.ImplRule {
 			return []core.InputReq{{}}, true
 		},
 		Cost: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq) core.Cost {
-			p := props(ctx, b.Group)
-			return Cost{
-				IO:  p.Pages(m.Cfg.Params.PageBytes),
-				CPU: p.Rows * m.Cfg.Params.CPUTuple,
-			}
+			return m.scanCost(props(ctx, b.Group))
 		},
 		Delivered: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq, inputs []core.PhysProps) core.PhysProps {
 			return storedOrder(b.Expr.Op.(*rel.Get).Tab)
@@ -98,8 +94,7 @@ func (m *Model) filterRule() *core.ImplRule {
 			return []core.InputReq{{Required: []core.PhysProps{required}}}, true
 		},
 		Cost: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq) core.Cost {
-			in := props(ctx, b.Children[0].Group)
-			return m.scaled(required, Cost{CPU: in.Rows * m.Cfg.Params.CPUPred})
+			return m.scaled(required, m.filterCost(props(ctx, b.Children[0].Group)))
 		},
 		Delivered: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq, inputs []core.PhysProps) core.PhysProps {
 			return inputs[0]
@@ -121,8 +116,7 @@ func (m *Model) projectRule() *core.ImplRule {
 			return []core.InputReq{{Required: []core.PhysProps{required}}}, true
 		},
 		Cost: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq) core.Cost {
-			in := props(ctx, b.Children[0].Group)
-			return m.scaled(required, Cost{CPU: in.Rows * m.Cfg.Params.CPUTuple})
+			return m.scaled(required, m.projectCost(props(ctx, b.Children[0].Group)))
 		},
 		Delivered: func(ctx *core.RuleContext, b *core.Binding, required core.PhysProps, alt core.InputReq, inputs []core.PhysProps) core.PhysProps {
 			return trimToCols(inputs[0].(*PhysProps), b.Expr.Op.(*rel.Project).Cols)
@@ -217,9 +211,7 @@ func colInList(c rel.ColID, cols []rel.ColID) bool {
 // mergeJoinCost charges one pass over both sorted inputs plus output
 // construction.
 func (m *Model) mergeJoinCost(ctx *core.RuleContext, out, left, right core.GroupID, required core.PhysProps) core.Cost {
-	lp, rp, op := props(ctx, left), props(ctx, right), props(ctx, out)
-	return m.scaled(required, Cost{CPU: (lp.Rows+rp.Rows)*m.Cfg.Params.CPUCompare +
-		op.Rows*m.Cfg.Params.CPUTuple})
+	return m.scaled(required, m.mergeJoinCostProps(props(ctx, left), props(ctx, right), props(ctx, out)))
 }
 
 // hashJoinCost charges building on the left input, probing with the
@@ -228,12 +220,7 @@ func (m *Model) mergeJoinCost(ctx *core.RuleContext, out, left, right core.Group
 // paper's experimental setup; under memory pressure the overflow
 // fraction of both inputs is partitioned to disk.
 func (m *Model) hashJoinCost(ctx *core.RuleContext, out, left, right core.GroupID, required core.PhysProps) core.Cost {
-	lp, rp, op := props(ctx, left), props(ctx, right), props(ctx, out)
-	return m.scaled(required, Cost{
-		IO: HashSpillIO(m.Cfg.Params, lp.Pages(m.Cfg.Params.PageBytes), rp.Pages(m.Cfg.Params.PageBytes)),
-		CPU: (lp.Rows+rp.Rows)*m.Cfg.Params.CPUHash +
-			op.Rows*m.Cfg.Params.CPUTuple,
-	})
+	return m.scaled(required, m.hashJoinCostProps(props(ctx, left), props(ctx, right), props(ctx, out)))
 }
 
 // scaled divides CPU work across partitions when the result is produced

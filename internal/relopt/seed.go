@@ -1,0 +1,279 @@
+package relopt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// Seed planning for guided branch-and-bound. The greedy seeder builds
+// one complete plan per query without any search: join the
+// cheapest-cardinality pair first, then attach the remaining relations
+// by estimated output size, implement every join by hybrid hash join,
+// and sort the result if the goal requires an order. Its cost is
+// computed with the same formulas the implementation rules charge (the
+// *CostProps helpers below are shared with impl.go and enforcers.go), so
+// the seed's cost is exactly that of a plan the exhaustive search can
+// reach — an upper bound on the optimum, which makes the inclusive
+// seeded stage of core's guided search succeed on the first attempt.
+
+// scanCost prices a file scan of a stored relation: one read of its
+// pages plus per-tuple output construction.
+func (m *Model) scanCost(p *rel.Props) Cost {
+	return Cost{
+		IO:  p.Pages(m.Cfg.Params.PageBytes),
+		CPU: p.Rows * m.Cfg.Params.CPUTuple,
+	}
+}
+
+// filterCost prices a filter over an input with the given properties:
+// one predicate evaluation per input row.
+func (m *Model) filterCost(in *rel.Props) Cost {
+	return Cost{CPU: in.Rows * m.Cfg.Params.CPUPred}
+}
+
+// projectCost prices a standalone projection: one tuple copy per row.
+func (m *Model) projectCost(in *rel.Props) Cost {
+	return Cost{CPU: in.Rows * m.Cfg.Params.CPUTuple}
+}
+
+// mergeJoinCostProps prices a merge-join over sorted inputs: one pass
+// over both inputs plus output construction.
+func (m *Model) mergeJoinCostProps(lp, rp, op *rel.Props) Cost {
+	return Cost{CPU: (lp.Rows+rp.Rows)*m.Cfg.Params.CPUCompare +
+		op.Rows*m.Cfg.Params.CPUTuple}
+}
+
+// hashJoinCostProps prices a hybrid hash join building on the left
+// input: hashing both inputs, output construction, and partition-file
+// I/O for the overflow fraction when the build side exceeds the work
+// space.
+func (m *Model) hashJoinCostProps(lp, rp, op *rel.Props) Cost {
+	return Cost{
+		IO: HashSpillIO(m.Cfg.Params, lp.Pages(m.Cfg.Params.PageBytes), rp.Pages(m.Cfg.Params.PageBytes)),
+		CPU: (lp.Rows+rp.Rows)*m.Cfg.Params.CPUHash +
+			op.Rows*m.Cfg.Params.CPUTuple,
+	}
+}
+
+// sortCost prices the sort enforcer's single-level merge: runs written
+// once and read once, with rows (possibly a per-partition fraction)
+// compared log(rows) times each.
+func (m *Model) sortCost(p *rel.Props, rows float64) Cost {
+	return Cost{
+		IO:  2 * p.Pages(m.Cfg.Params.PageBytes) * m.Cfg.Params.SpillIO,
+		CPU: rows * log2(rows) * m.Cfg.Params.CPUCompare,
+	}
+}
+
+// add is componentwise cost accumulation for the seeder.
+func add(a, b Cost) Cost { return Cost{IO: a.IO + b.IO, CPU: a.CPU + b.CPU} }
+
+// LowerBound implements core.LowerBounder: every physical plan for a
+// class reads each of its base relations exactly once through the
+// (serial, never cost-scaled) file scan — GET's only implementation —
+// so the sum of those scan costs is an admissible floor for any plan of
+// the class under any property requirement. Self-overlapping set
+// operations scan shared tables more than once, which only widens the
+// gap above the floor.
+func (m *Model) LowerBound(lp core.LogicalProps) core.Cost {
+	p, ok := lp.(*rel.Props)
+	if !ok || p.Tables == 0 {
+		return nil
+	}
+	var c Cost
+	for _, name := range m.Cat.Tables() {
+		t := m.Cat.Table(name)
+		if p.Tables&(1<<uint(t.Index)) == 0 {
+			continue
+		}
+		c = add(c, m.scanCost(&rel.Props{Rows: float64(t.Rows), RowBytes: t.RowBytes}))
+	}
+	return c
+}
+
+var _ core.LowerBounder = (*Model)(nil)
+
+// SeedPlanner returns the model's seed planner for core's guided search:
+// the greedy join-ordering seeder, falling back to the generic syntactic
+// seed (the query as written, algorithm choices only) for query shapes
+// the greedy pass does not cover — non-join roots, partitioned goals,
+// and disconnected join graphs.
+func (m *Model) SeedPlanner() core.SeedPlanner {
+	return func(o *core.Optimizer, root core.GroupID, required core.PhysProps) *core.SeedPlan {
+		if sp := m.greedySeed(o, root, required); sp != nil {
+			return sp
+		}
+		return o.SyntacticSeed(root, required)
+	}
+}
+
+// seedComp is one connected component of the greedy seeder's working
+// set: the logical properties of the relations joined so far and the
+// accumulated cost of producing them.
+type seedComp struct {
+	props *rel.Props
+	cost  Cost
+	// base is true while the component reads a single base relation —
+	// the "composite inner" test under Config.NoCompositeInner.
+	base bool
+}
+
+// greedySeed builds the greedy hash-join plan for a join-tree query and
+// returns its cost, or nil when the query's shape is out of scope.
+func (m *Model) greedySeed(o *core.Optimizer, root core.GroupID, required core.PhysProps) *core.SeedPlan {
+	rp, ok := required.(*PhysProps)
+	if !ok || rp.Part.Kind != PartNone {
+		// Partitioned goals need exchange placement; leave those to the
+		// syntactic fallback.
+		return nil
+	}
+	memo := o.Memo()
+	var comps []seedComp
+	var preds []*rel.Join
+	if !m.collectJoinTree(memo, root, make(map[core.GroupID]bool), &comps, &preds) {
+		return nil
+	}
+	if len(preds) == 0 || len(comps) < 2 {
+		// Single-relation queries gain nothing from join ordering.
+		return nil
+	}
+	factors := len(comps)
+
+	// Greedily merge components: among the predicates that connect two
+	// distinct components, take the one whose join produces the fewest
+	// rows. Predicates whose columns fall inside one component are
+	// dropped — their filtering effect is forgone, which only inflates
+	// the seed (the bound stays sound).
+	for len(comps) > 1 {
+		bi, bj, bp := -1, -1, -1
+		var bout *rel.Props
+		for pi, j := range preds {
+			ci := findComp(comps, j.A)
+			cj := findComp(comps, j.B)
+			if ci < 0 || cj < 0 || ci == cj {
+				continue
+			}
+			if m.Cfg.NoCompositeInner && !comps[ci].base && !comps[cj].base {
+				continue
+			}
+			out := rel.DeriveProps(m.Cat, j, []core.LogicalProps{comps[ci].props, comps[cj].props})
+			if bout == nil || out.Rows < bout.Rows {
+				bi, bj, bp, bout = ci, cj, pi, out
+			}
+		}
+		if bout == nil {
+			// Disconnected join graph (or no left-deep step remains):
+			// out of scope.
+			return nil
+		}
+		l, r := comps[bi], comps[bj]
+		if m.Cfg.NoCompositeInner && !r.base {
+			// The restricted join algorithms accept composite inputs
+			// only on the left.
+			l, r = r, l
+		}
+		merged := seedComp{
+			props: bout,
+			cost:  add(add(l.cost, r.cost), m.hashJoinCostProps(l.props, r.props, bout)),
+		}
+		comps[bi] = merged
+		comps = append(comps[:bj], comps[bj+1:]...)
+		preds = append(preds[:bp], preds[bp+1:]...)
+	}
+
+	c := comps[0].cost
+	if len(rp.Sort) > 0 {
+		c = add(c, m.sortCost(comps[0].props, comps[0].props.Rows))
+	}
+	return &core.SeedPlan{
+		Cost: c,
+		Desc: fmt.Sprintf("greedy hash-join order over %d relations", factors),
+	}
+}
+
+// findComp locates the component whose schema holds the column; the
+// catalog gives every column to exactly one base relation, so at most
+// one component matches.
+func findComp(comps []seedComp, c rel.ColID) int {
+	for i := range comps {
+		if comps[i].props.HasCol(c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// collectJoinTree walks a class's original expression tree, splitting it
+// into join predicates and non-join factors. Factors must be chains of
+// SELECT/PROJECT over GET for the seeder to price them; anything else
+// rejects the query. onPath guards against reference cycles in a merged
+// memo.
+func (m *Model) collectJoinTree(memo *core.Memo, gid core.GroupID, onPath map[core.GroupID]bool, comps *[]seedComp, preds *[]*rel.Join) bool {
+	gid = memo.Find(gid)
+	if onPath[gid] {
+		return false
+	}
+	g := memo.Group(gid)
+	if len(g.Exprs()) == 0 {
+		return false
+	}
+	e := g.Exprs()[0]
+	j, ok := e.Op.(*rel.Join)
+	if !ok {
+		c, ok := m.factorCost(memo, gid, onPath)
+		if !ok {
+			return false
+		}
+		*comps = append(*comps, seedComp{
+			props: g.LogicalProps().(*rel.Props),
+			cost:  c,
+			base:  isBaseProps(g.LogicalProps().(*rel.Props)),
+		})
+		return true
+	}
+	onPath[gid] = true
+	defer delete(onPath, gid)
+	*preds = append(*preds, j)
+	return m.collectJoinTree(memo, e.Inputs[0], onPath, comps, preds) &&
+		m.collectJoinTree(memo, e.Inputs[1], onPath, comps, preds)
+}
+
+// isBaseProps reports whether the properties describe a single base
+// relation (one bit set in the table set).
+func isBaseProps(p *rel.Props) bool {
+	return p.Tables != 0 && p.Tables&(p.Tables-1) == 0
+}
+
+// factorCost prices one non-join factor — a SELECT/PROJECT chain over a
+// GET — with the shared per-operator cost helpers, serial and unordered.
+func (m *Model) factorCost(memo *core.Memo, gid core.GroupID, onPath map[core.GroupID]bool) (Cost, bool) {
+	gid = memo.Find(gid)
+	if onPath[gid] {
+		return Cost{}, false
+	}
+	g := memo.Group(gid)
+	if len(g.Exprs()) == 0 {
+		return Cost{}, false
+	}
+	e := g.Exprs()[0]
+	switch e.Op.(type) {
+	case *rel.Get:
+		return m.scanCost(g.LogicalProps().(*rel.Props)), true
+	case *rel.Select, *rel.Project:
+		onPath[gid] = true
+		defer delete(onPath, gid)
+		in := memo.Group(memo.Find(e.Inputs[0]))
+		inProps := in.LogicalProps().(*rel.Props)
+		c, ok := m.factorCost(memo, e.Inputs[0], onPath)
+		if !ok {
+			return Cost{}, false
+		}
+		if _, isSel := e.Op.(*rel.Select); isSel {
+			return add(c, m.filterCost(inProps)), true
+		}
+		return add(c, m.projectCost(inProps)), true
+	}
+	return Cost{}, false
+}

@@ -26,6 +26,11 @@ type Options struct {
 	Config relopt.Config
 	// Search tunes the search engine (ablation toggles, tracing).
 	Search core.Options
+	// Guided seeds branch-and-bound with the model's greedy
+	// join-ordering planner; it is a convenience for callers that do
+	// not hold the catalog yet (OpenDir), equivalent to setting
+	// Search.SeedPlanner. An explicit Search.SeedPlanner wins.
+	Guided bool
 	// DynamicBuckets, when non-empty, makes Prepare of parameterized
 	// queries produce dynamic plans over these selectivity
 	// assumptions; nil uses the built-in buckets.
@@ -46,6 +51,9 @@ func Open(cat *rel.Catalog, data map[string][][]int64, opts *Options) *DB {
 	db := &DB{cat: cat, data: exec.FromData(cat, data)}
 	if opts != nil {
 		db.opts = *opts
+	}
+	if db.opts.Guided && db.opts.Search.SeedPlanner == nil {
+		db.opts.Search.SeedPlanner = relopt.New(cat, db.opts.Config).SeedPlanner()
 	}
 	return db
 }
