@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet bench bench-guided
+.PHONY: build test test-race vet staticcheck bench bench-guided bench-anytime
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ test-race:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is available (CI installs it; the
+# local toolchain need not have it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # The headline numbers: Figure-4 optimization time (serial and parallel
 # batch throughput) plus the search-engine micro-benchmarks.
 bench:
@@ -25,3 +34,10 @@ bench:
 bench-guided:
 	$(GO) test -run NONE -bench 'BenchmarkFig4Volcano$$|BenchmarkFig4VolcanoUnguided' -benchmem .
 	$(GO) run ./cmd/volcano-bench -experiment fig4guided -json ""
+
+# Anytime smoke: 8-relation Figure-4 queries under shrinking wall-clock
+# and step budgets must still return complete plans delivering the
+# required properties and costing no more than the seed floor
+# (volcano-bench exits non-zero on any contract violation).
+bench-anytime:
+	$(GO) run ./cmd/volcano-bench -experiment anytime -queries 8 -json ""

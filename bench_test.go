@@ -60,7 +60,7 @@ func benchmarkFig4Volcano(b *testing.B, guided bool) {
 			model := relopt.New(cat, relopt.DefaultConfig())
 			var opts *core.Options
 			if guided {
-				opts = &core.Options{SeedPlanner: model.SeedPlanner()}
+				opts = &core.Options{Guidance: core.GuidanceOptions{SeedPlanner: model.SeedPlanner()}}
 			}
 			var cost float64
 			var mem int
@@ -187,15 +187,19 @@ func benchmarkAblation(b *testing.B, opts core.Options) {
 func BenchmarkAblationDefault(b *testing.B) { benchmarkAblation(b, core.Options{}) }
 
 // BenchmarkAblationNoPruning disables branch-and-bound.
-func BenchmarkAblationNoPruning(b *testing.B) { benchmarkAblation(b, core.Options{NoPruning: true}) }
+func BenchmarkAblationNoPruning(b *testing.B) {
+	benchmarkAblation(b, core.Options{Search: core.SearchOptions{NoPruning: true}})
+}
 
 // BenchmarkAblationNoFailureMemo disables memoized failures.
 func BenchmarkAblationNoFailureMemo(b *testing.B) {
-	benchmarkAblation(b, core.Options{NoFailureMemo: true})
+	benchmarkAblation(b, core.Options{Search: core.SearchOptions{NoFailureMemo: true}})
 }
 
 // BenchmarkAblationGlueMode uses the Starburst-style strategy.
-func BenchmarkAblationGlueMode(b *testing.B) { benchmarkAblation(b, core.Options{GlueMode: true}) }
+func BenchmarkAblationGlueMode(b *testing.B) {
+	benchmarkAblation(b, core.Options{Search: core.SearchOptions{GlueMode: true}})
+}
 
 // BenchmarkAltProps runs the alternative-input-combinations experiment.
 func BenchmarkAltProps(b *testing.B) {

@@ -7,7 +7,14 @@
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
+//	volcano-bench -experiment anytime   # graceful degradation under budgets
 //	volcano-bench -experiment all
+//
+// The anytime experiment sweeps shrinking optimization budgets over the
+// hardest queries (override with -timeout / -max-steps to test a single
+// budget) and exits non-zero if any budget-stopped search violates the
+// anytime contract — that is, fails to return a complete plan with the
+// required properties costing no more than the greedy seed.
 //
 // Flags tune the workload; defaults follow the paper (50 random
 // select-join queries per complexity level, 2-8 input relations, tables
@@ -25,12 +32,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/fig4"
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -39,6 +47,8 @@ func main() {
 	timeout := flag.Duration("exodus-timeout", 30*time.Second, "per-query EXODUS time budget")
 	maxNodes := flag.Int("exodus-max-nodes", 1<<20, "EXODUS MESH node budget")
 	workers := flag.Int("workers", 0, "fig4par worker-pool size (0 = GOMAXPROCS)")
+	optTimeout := flag.Duration("timeout", 0, "anytime per-query wall-clock budget (0 = sweep defaults)")
+	optSteps := flag.Int("max-steps", 0, "anytime per-query step budget in moves pursued (0 = sweep defaults)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
 	flag.Parse()
 
@@ -90,6 +100,26 @@ func main() {
 			fmt.Print(fig4.FormatHeuristic(fig4.RunHeuristic(cfg)))
 		case "setops":
 			fmt.Print(fig4.FormatSetOps(fig4.RunSetOps()))
+		case "anytime":
+			budgets := []core.Budget{
+				{Timeout: 50 * time.Millisecond},
+				{Timeout: 5 * time.Millisecond},
+				{Timeout: 500 * time.Microsecond},
+				{MaxSteps: 1000},
+				{MaxSteps: 100},
+				{MaxSteps: 10},
+			}
+			if *optTimeout > 0 || *optSteps > 0 {
+				budgets = []core.Budget{{Timeout: *optTimeout, MaxSteps: *optSteps}}
+			}
+			points := fig4.RunAnytime(cfg, budgets)
+			fmt.Print(fig4.FormatAnytime(points))
+			for _, p := range points {
+				if p.Invalid > 0 {
+					fmt.Fprintf(os.Stderr, "volcano-bench: %d budget-stopped searches violated the anytime contract\n", p.Invalid)
+					os.Exit(1)
+				}
+			}
 		case "memory":
 			points := fig4.Run(cfg)
 			fmt.Println("Peak optimizer work space (mean per query)")
@@ -106,7 +136,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -32,12 +33,15 @@ func main() {
 	tables := flag.Int("tables", 8, "number of demo tables")
 	run := flag.Bool("run", false, "execute the plan and print up to -limit rows")
 	limit := flag.Int("limit", 10, "rows to print with -run")
-	trace := flag.Bool("trace", false, "print search-trace events")
+	trace := flag.Bool("trace", false, "print search-trace events (winners, failures, violations)")
+	traceAll := flag.Bool("trace-all", false, "print every structured search-trace event")
 	baseline := flag.Bool("baseline", false, "also optimize with the EXODUS-style baseline")
 	stats := flag.Bool("stats", false, "print search statistics")
 	guided := flag.Bool("guided", false, "seed branch-and-bound with the greedy join-ordering plan")
 	memo := flag.Bool("memo", false, "dump the memo (classes, expressions, winners)")
 	dot := flag.Bool("dot", false, "print the plan as a Graphviz digraph")
+	timeout := flag.Duration("timeout", 0, "optimization wall-clock budget (0 = unbounded); on exhaustion the best plan found is printed")
+	maxSteps := flag.Int("max-steps", 0, "optimization step budget in moves pursued (0 = unbounded)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -56,14 +60,18 @@ func main() {
 	}
 
 	opts := &core.Options{}
-	if *trace {
-		opts.Trace = func(f string, args ...any) {
-			fmt.Printf("  trace: "+f+"\n", args...)
-		}
+	emit := func(line string) { fmt.Printf("  trace: %s\n", line) }
+	switch {
+	case *traceAll:
+		opts.Trace.Tracer = core.TextTracer(emit)
+	case *trace:
+		opts.Trace.Tracer = core.ClassicTracer(emit)
 	}
+	opts.Budget.Timeout = *timeout
+	opts.Budget.MaxSteps = *maxSteps
 	model := relopt.New(cat, relopt.DefaultConfig())
 	if *guided {
-		opts.SeedPlanner = model.SeedPlanner()
+		opts.Guidance.SeedPlanner = model.SeedPlanner()
 	}
 	opt := core.NewOptimizer(model, opts)
 	root := opt.InsertQuery(st.Tree)
@@ -74,8 +82,12 @@ func main() {
 	start := time.Now()
 	plan, err := opt.Optimize(root, required)
 	elapsed := time.Since(start)
+	degraded := false
 	if err != nil {
-		fatal(err)
+		if plan == nil || !errors.Is(err, core.ErrBudget) {
+			fatal(err)
+		}
+		degraded = true
 	}
 	if plan == nil {
 		fatal(fmt.Errorf("no plan satisfies the query requirements"))
@@ -83,6 +95,9 @@ func main() {
 
 	fmt.Printf("optimized in %v (%d classes, %d expressions)\n\n",
 		elapsed, opt.Stats().Groups, opt.Stats().Exprs)
+	if degraded {
+		fmt.Printf("-- degraded: %v after %d steps; best plan found:\n", err, opt.Stats().Steps())
+	}
 	fmt.Print(plan.Format())
 	if *guided {
 		s := opt.Stats()

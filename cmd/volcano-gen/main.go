@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	volcano-gen -spec model.model [-o optimizer.go]
+//	volcano-gen -spec model.model [-o optimizer.go] [-timeout 10s]
 //
 // The generated package declares a Support interface for the
 // implementor-supplied functions the specification references; see
@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/gen"
 )
@@ -24,6 +25,7 @@ import (
 func main() {
 	spec := flag.String("spec", "", "model specification file")
 	out := flag.String("o", "", "output file (default stdout)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for parsing and generation (0 = unbounded)")
 	flag.Parse()
 	if *spec == "" {
 		fmt.Fprintln(os.Stderr, "volcano-gen: -spec is required")
@@ -34,11 +36,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	parsed, err := gen.Parse(string(input))
-	if err != nil {
-		fatal(err)
-	}
-	src, err := gen.Generate(parsed)
+	src, err := generate(string(input), *timeout)
 	if err != nil {
 		fatal(err)
 	}
@@ -48,6 +46,40 @@ func main() {
 	}
 	if err := os.WriteFile(*out, src, 0o644); err != nil {
 		fatal(err)
+	}
+}
+
+// generate parses the specification and emits the optimizer source,
+// guarded by an optional wall-clock budget: a pathological specification
+// (deeply nested patterns blow up rule elaboration) aborts with an error
+// instead of hanging the build that invoked the generator.
+func generate(input string, timeout time.Duration) ([]byte, error) {
+	type result struct {
+		src []byte
+		err error
+	}
+	if timeout <= 0 {
+		parsed, err := gen.Parse(input)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Generate(parsed)
+	}
+	done := make(chan result, 1)
+	go func() {
+		parsed, err := gen.Parse(input)
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		src, err := gen.Generate(parsed)
+		done <- result{src, err}
+	}()
+	select {
+	case r := <-done:
+		return r.src, r.err
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("generation exceeded the %v budget", timeout)
 	}
 }
 

@@ -35,11 +35,15 @@ func main() {
 	limit := flag.Int("limit", 10, "rows displayed per query")
 	dataDir := flag.String("data", "", "directory of <table>.csv files to load instead of the demo database")
 	guided := flag.Bool("guided", false, "seed branch-and-bound with the greedy join-ordering plan")
+	trace := flag.Bool("trace", false, "print search-trace events (winners, failures, violations)")
+	timeout := flag.Duration("timeout", 0, "per-query optimization wall-clock budget (0 = unbounded)")
+	maxSteps := flag.Int("max-steps", 0, "per-query optimization step budget in moves pursued (0 = unbounded)")
 	flag.Parse()
 
-	r := &repl{limit: *limit, tables: *tables, guided: *guided}
+	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
+	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget}
 	if *dataDir != "" {
-		db, err := vdb.OpenDir(*dataDir, &vdb.Options{Guided: r.guided})
+		db, err := vdb.OpenDir(*dataDir, r.options())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
 			os.Exit(1)
@@ -69,12 +73,26 @@ type repl struct {
 	tables int
 	limit  int
 	guided bool
+	trace  bool
+	budget core.Budget
+}
+
+// options assembles the database options from the repl's flags.
+func (r *repl) options() *vdb.Options {
+	opts := &vdb.Options{Guided: r.guided}
+	opts.Search.Budget = r.budget
+	if r.trace {
+		opts.Search.Trace.Tracer = core.ClassicTracer(func(line string) {
+			fmt.Printf("  trace: %s\n", line)
+		})
+	}
+	return opts
 }
 
 func (r *repl) reset(seed int64) {
 	src := datagen.New(seed)
 	r.cat = src.Catalog(r.tables)
-	r.db = vdb.Open(r.cat, src.Rows(r.cat), &vdb.Options{Guided: r.guided})
+	r.db = vdb.Open(r.cat, src.Rows(r.cat), r.options())
 	r.seed = seed
 }
 
@@ -130,9 +148,9 @@ func (r *repl) memo(sql string) {
 		return
 	}
 	model := relopt.New(r.cat, relopt.DefaultConfig())
-	var opts *core.Options
+	opts := &core.Options{Budget: r.budget}
 	if r.guided {
-		opts = &core.Options{SeedPlanner: model.SeedPlanner()}
+		opts.Guidance.SeedPlanner = model.SeedPlanner()
 	}
 	opt := core.NewOptimizer(model, opts)
 	root := opt.InsertQuery(st.Tree)
@@ -160,6 +178,10 @@ func (r *repl) query(sql string) {
 	}
 	fmt.Printf("%d rows; %d classes, %d expressions explored\n",
 		len(res.Rows), res.Stats.Groups, res.Stats.Exprs)
+	if res.Degraded != nil {
+		fmt.Printf("degraded: %v after %d steps; ran best plan found\n",
+			res.Degraded, res.Stats.Steps())
+	}
 	if r.guided {
 		if res.Stats.SeedCost == nil {
 			fmt.Println("guided: seed planner declined; search ran unguided")

@@ -50,7 +50,7 @@ func main() {
 	show("no required properties", sql, nil)
 	directed := show("ORDER BY R1.jb — property-directed search", ordered, nil)
 	glued := show("ORDER BY R1.jb — Starburst-style glue (ablation)", ordered,
-		&core.Options{GlueMode: true})
+		&core.Options{Search: core.SearchOptions{GlueMode: true}})
 
 	fmt.Printf("property-directed search wins by %.1f%%: it considers which\n",
 		100*(glued-directed)/glued)

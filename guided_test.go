@@ -38,7 +38,9 @@ func TestGuidedMatchesUnguided(t *testing.T) {
 				t.Fatalf("%s unguided: plan=%v err=%v", name, pp, err)
 			}
 
-			guided := core.NewOptimizer(model, &core.Options{SeedPlanner: model.SeedPlanner()})
+			guided := core.NewOptimizer(model, &core.Options{
+				Guidance: core.GuidanceOptions{SeedPlanner: model.SeedPlanner()},
+			})
 			pg, err := guided.Optimize(guided.InsertQuery(query.Root), required)
 			if err != nil || pg == nil {
 				t.Fatalf("%s guided: plan=%v err=%v", name, pg, err)
@@ -98,7 +100,7 @@ func TestGuidedParallelMatchesSerial(t *testing.T) {
 		serial[i] = plan.Cost.(relopt.Cost).Total()
 	}
 
-	guidedOpts := &core.Options{SeedPlanner: model.SeedPlanner()}
+	guidedOpts := &core.Options{Guidance: core.GuidanceOptions{SeedPlanner: model.SeedPlanner()}}
 	for _, workers := range []int{1, 4} {
 		jobs := make([]core.ParallelJob, len(queries))
 		for i := range jobs {

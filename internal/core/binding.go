@@ -99,6 +99,15 @@ func (m *Memo) exploreGroup(g *Group) {
 					continue
 				}
 				e.markRuleApplied(ri)
+				if m.bud != nil {
+					// Budget checkpoint per (expression, rule) attempt:
+					// together with the insertion tick this bounds how
+					// far a fixpoint expansion can run past a stop.
+					if err := m.bud.tick(); err != nil {
+						m.err = err
+						return
+					}
+				}
 				if !kindMatches(rule.Pattern.Kind, e.Op.Kind()) ||
 					len(rule.Pattern.Children) != len(e.Inputs) {
 					continue

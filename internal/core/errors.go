@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrBudget is the umbrella error for every way a search can be stopped
+// before running to completion: all of ErrCanceled, ErrDeadline,
+// ErrStepBudget, and ErrMemoBudget match it under errors.Is. It mirrors
+// the paper's observation that the EXODUS prototype aborted on larger
+// queries due to lack of memory; the Volcano engine's budgets exist so a
+// compile server can bound optimization effort and account for it
+// faithfully.
+//
+// A budget stop is not fatal: Optimize and OptimizeWithLimit degrade
+// gracefully, returning the best complete plan discovered before the
+// stop (or a seed-plan floor) alongside the typed error. A nil plan with
+// a nil error, by contrast, means the search ran to completion and
+// proved that no plan within the cost limit exists.
+var ErrBudget = errors.New("core: optimization budget exhausted")
+
+// budgetError is a typed budget stop. Is reports a match against both
+// the umbrella ErrBudget and, when the stop originated from a context,
+// the corresponding context error, so errors.Is(err, context.Canceled)
+// and errors.Is(err, ErrBudget) both hold for a canceled search.
+type budgetError struct {
+	msg  string
+	also error
+}
+
+func (e *budgetError) Error() string { return e.msg }
+
+func (e *budgetError) Is(target error) bool {
+	return target == ErrBudget || (e.also != nil && target == e.also)
+}
+
+// The typed budget errors. Each matches ErrBudget under errors.Is;
+// ErrCanceled and ErrDeadline additionally match context.Canceled and
+// context.DeadlineExceeded respectively.
+var (
+	// ErrCanceled reports that the optimization's context was canceled.
+	ErrCanceled error = &budgetError{
+		msg:  "core: optimization canceled",
+		also: context.Canceled,
+	}
+	// ErrDeadline reports that the Budget.Timeout or the context's
+	// deadline expired mid-search.
+	ErrDeadline error = &budgetError{
+		msg:  "core: optimization deadline exceeded",
+		also: context.DeadlineExceeded,
+	}
+	// ErrStepBudget reports that the search pursued Budget.MaxSteps
+	// moves without running to completion.
+	ErrStepBudget error = &budgetError{
+		msg: "core: search step budget exhausted",
+	}
+	// ErrMemoBudget reports that the memo outgrew Budget.MaxExprs
+	// expressions or Budget.MaxMemoBytes estimated bytes.
+	ErrMemoBudget error = &budgetError{
+		msg: "core: memo budget exhausted",
+	}
+)

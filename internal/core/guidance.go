@@ -19,8 +19,9 @@ package core
 
 // SeedPlan is what a seed planner hands the guidance layer: the cost of
 // one complete, achievable plan for the goal, plus an optional
-// human-readable sketch for EXPLAIN output. The plan itself stays with
-// the planner — the engine needs only its cost, as the bound.
+// human-readable sketch for EXPLAIN output. The engine needs only the
+// cost, as the bound; a planner that materializes the plan itself may
+// attach it so a budget-stopped search can fall back on it.
 type SeedPlan struct {
 	// Cost is the seed plan's estimated cost under the model's own cost
 	// functions. It must be achievable (a real plan costs this much);
@@ -29,6 +30,14 @@ type SeedPlan struct {
 	Cost Cost
 	// Desc optionally sketches the seed plan for display.
 	Desc string
+	// Plan, if non-nil, is the complete seed plan itself. Guided search
+	// never returns it as the optimum, but it becomes the degradation
+	// floor when a Budget or cancellation stops the search before any
+	// better plan is found (see OptimizeWithLimitCtx). A seed plan
+	// whose Delivered vector does not cover the goal's requirement is
+	// ignored for that purpose. Its Group and LogProps fields may refer
+	// to the planner's own scratch memo.
+	Plan *Plan
 }
 
 // SeedPlanner produces a cheap complete plan for an optimization goal
@@ -72,31 +81,38 @@ const (
 // plan costs less than F, so both are sound to reuse at higher limits.
 func (o *Optimizer) guidedOptimize(root GroupID, required PhysProps, limit Cost) *Plan {
 	var seedCost Cost
-	if seed := o.opts.SeedPlanner(o, root, required); seed != nil {
+	if seed := o.opts.Guidance.SeedPlanner(o, root, required); seed != nil {
 		seedCost = seed.Cost
 		o.stats.SeedCost = seedCost
+		if seed.Plan != nil {
+			// Keep the materialized seed as the anytime degradation
+			// floor; OptimizeWithLimitCtx vets its properties and cost
+			// before ever returning it.
+			o.seedFallback = seed.Plan
+			o.stats.SeedFloorCost = seed.Plan.Cost
+		}
 	}
-	if seedCost == nil || o.opts.NoPruning || !seedCost.Less(limit) {
+	if seedCost == nil || o.opts.Search.NoPruning || !seedCost.Less(limit) {
 		// No usable seed, pruning disabled, or the caller's limit is
 		// already at least as tight as the seed: one unguided stage under
 		// the caller's (inclusive) limit.
-		o.stats.LimitStages++
+		o.stageTrace(root, required, limit)
 		p, _ := o.findBestPlan(root, required, nil, limit, true)
 		return p
 	}
 
-	stages := o.opts.SeedStages
+	stages := o.opts.Guidance.SeedStages
 	if stages < 1 {
 		stages = DefaultSeedStages
 	}
-	growth := o.opts.SeedGrowth
+	growth := o.opts.Guidance.SeedGrowth
 	if growth <= 1 {
 		growth = DefaultSeedGrowth
 	}
 
 	cur := seedCost
 	for i := 0; i < stages; i++ {
-		o.stats.LimitStages++
+		o.stageTrace(root, required, cur)
 		p, transient := o.findBestPlan(root, required, nil, cur, true)
 		if p != nil {
 			return p
@@ -125,9 +141,19 @@ func (o *Optimizer) guidedOptimize(root GroupID, required PhysProps, limit Cost)
 
 	// Final stage: the caller's original limit, with the same inclusive
 	// bound semantics as an unguided run.
-	o.stats.LimitStages++
+	o.stageTrace(root, required, limit)
 	p, _ := o.findBestPlan(root, required, nil, limit, true)
 	return p
+}
+
+// stageTrace counts a guided-search limit stage and reports it to the
+// tracer.
+func (o *Optimizer) stageTrace(root GroupID, required PhysProps, limit Cost) {
+	o.stats.LimitStages++
+	if o.tracer != nil {
+		o.tracer.Trace(TraceEvent{Kind: TraceLimitStage, Group: root,
+			Required: required, Limit: limit, Stage: o.stats.LimitStages})
+	}
 }
 
 // seedModel wraps a model with an empty transformation rule set. The
@@ -144,13 +170,28 @@ func (seedModel) TransformationRules() []*TransformRule { return nil }
 // is that of a real plan under the model's own cost functions, making it
 // a sound (if loose) seed for any data model — the trivial per-model
 // fallback planner. It returns nil when the tree cannot be recovered or
-// no plan for it exists.
+// no plan for it exists. The seed carries its complete plan, so it also
+// serves as the anytime degradation floor.
 func (o *Optimizer) SyntacticSeed(root GroupID, required PhysProps) *SeedPlan {
+	p := o.syntacticPlan(root, required)
+	if p == nil {
+		return nil
+	}
+	return &SeedPlan{Cost: p.Cost, Desc: p.String(), Plan: p}
+}
+
+// syntacticPlan is the scratch optimization behind SyntacticSeed,
+// returning the complete plan for the query as written (its Group and
+// LogProps fields refer to the scratch memo). The anytime fallback uses
+// it directly when a budget stop arrives before any plan was found: the
+// pass is cheap — with transformations disabled the scratch memo never
+// grows beyond the original expression tree.
+func (o *Optimizer) syntacticPlan(root GroupID, required PhysProps) *Plan {
 	tree := o.originalTree(o.memo.Find(root), make(map[GroupID]bool))
 	if tree == nil {
 		return nil
 	}
-	scratch := NewOptimizer(seedModel{o.model}, &Options{MaxExprs: o.opts.MaxExprs})
+	scratch := NewOptimizer(seedModel{o.model}, &Options{Budget: Budget{MaxExprs: o.opts.Budget.MaxExprs}})
 	g := scratch.InsertQuery(tree)
 	if g == InvalidGroup {
 		return nil
@@ -162,7 +203,7 @@ func (o *Optimizer) SyntacticSeed(root GroupID, required PhysProps) *SeedPlan {
 	if err != nil || p == nil {
 		return nil
 	}
-	return &SeedPlan{Cost: p.Cost, Desc: p.String()}
+	return p
 }
 
 // SyntacticSeedPlanner adapts SyntacticSeed to the SeedPlanner hook.

@@ -11,7 +11,7 @@ import (
 
 // newGuidedToyOpt builds a toy optimizer with the given seed planner.
 func newGuidedToyOpt(sp core.SeedPlanner, extra func(*core.Options)) *core.Optimizer {
-	opts := &core.Options{SeedPlanner: sp}
+	opts := &core.Options{Guidance: core.GuidanceOptions{SeedPlanner: sp}}
 	if extra != nil {
 		extra(opts)
 	}
@@ -95,9 +95,9 @@ func TestGuidedUnderestimatingSeedRelaxes(t *testing.T) {
 		opt := newGuidedToyOpt(func(o *core.Optimizer, root core.GroupID, required core.PhysProps) *core.SeedPlan {
 			return &core.SeedPlan{Cost: toyCost(0.5), Desc: "liar"}
 		}, func(opts *core.Options) {
-			opts.NoFailureMemo = !memo
-			opts.SeedStages = 2
-			opts.SeedGrowth = 3
+			opts.Search.NoFailureMemo = !memo
+			opts.Guidance.SeedStages = 2
+			opts.Guidance.SeedGrowth = 3
 		})
 		g := opt.InsertQuery(tree)
 		plan, err := opt.Optimize(g, toyColor(1))

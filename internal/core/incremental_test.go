@@ -28,7 +28,7 @@ func TestQuickIncrementalMatchesFromScratch(t *testing.T) {
 					return false
 				}
 				scr := core.NewOptimizer(&toyModel{withMarkRule: withMark},
-					&core.Options{NoIncremental: true})
+					&core.Options{Search: core.SearchOptions{NoIncremental: true}})
 				ps, err := scr.Optimize(scr.InsertQuery(tree), required)
 				if err != nil || ps == nil {
 					t.Logf("from-scratch: plan=%v err=%v", ps, err)

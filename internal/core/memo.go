@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -55,13 +54,14 @@ type Memo struct {
 	scratch []GroupID
 	// arena slab-allocates the bindings retained by cached moves.
 	arena bindingArena
-}
 
-// ErrBudget is returned when the search exceeds the configured
-// expression budget. It mirrors the paper's observation that the EXODUS
-// prototype aborted on larger queries due to lack of memory; the Volcano
-// engine's budget exists so experiments can account memory faithfully.
-var ErrBudget = errors.New("core: memo expression budget exhausted")
+	// bud is the armed budget of the current optimization call, shared
+	// with the Optimizer; the memo ticks it on insertions and rule
+	// attempts — the units of work that dominate when a search is stuck
+	// expanding the space rather than costing plans. Nil when no budget
+	// or cancellation is in force.
+	bud *budgetState
+}
 
 // NewMemo creates an empty memo for the given model.
 func NewMemo(model Model, opts *Options, stats *Stats) *Memo {
@@ -200,6 +200,15 @@ func (m *Memo) insertCanon(op LogicalOp, inputs []GroupID, target GroupID, owned
 	if m.err != nil {
 		return target, false
 	}
+	if m.bud != nil {
+		// Amortized budget checkpoint: insertion is the unit of work of
+		// exploration, so a runaway transformation fixpoint hits a poll
+		// within budgetPollInterval insertions.
+		if err := m.bud.tick(); err != nil {
+			m.err = err
+			return target, false
+		}
+	}
 	if op.Arity() != len(inputs) {
 		panic(fmt.Sprintf("core: operator %s has arity %d but %d inputs supplied",
 			op.Name(), op.Arity(), len(inputs)))
@@ -215,8 +224,8 @@ func (m *Memo) insertCanon(op LogicalOp, inputs []GroupID, target GroupID, owned
 		}
 		return home, false
 	}
-	if m.opts != nil && m.opts.MaxExprs > 0 && m.exprCount >= m.opts.MaxExprs {
-		m.err = ErrBudget
+	if m.opts != nil && m.opts.Budget.MaxExprs > 0 && m.exprCount >= m.opts.Budget.MaxExprs {
+		m.err = ErrMemoBudget
 		return target, false
 	}
 	if !owned {

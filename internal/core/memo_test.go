@@ -141,7 +141,7 @@ func TestGroupAccessors(t *testing.T) {
 }
 
 func TestBudgetErrorSurfacesFromMemo(t *testing.T) {
-	opt := newToyOpt(&core.Options{MaxExprs: 3})
+	opt := newToyOpt(&core.Options{Budget: core.Budget{MaxExprs: 3}})
 	g := opt.InsertQuery(leftDeepPair("a", "b", "c", "d"))
 	err := opt.Explore(g)
 	if err == nil {

@@ -1,18 +1,40 @@
 package core
 
-// TraceFunc receives printf-style search-trace events when tracing is
-// enabled. Events cover rule firings, moves, winners, and failures.
-type TraceFunc func(format string, args ...any)
+import (
+	"errors"
+	"fmt"
+)
 
 // Options tune the search engine. The zero value is the paper's default
 // configuration: exhaustive directed dynamic programming with
-// branch-and-bound pruning and memoization of both winners and failures.
+// branch-and-bound pruning and memoization of both winners and
+// failures, unbounded and untraced.
 //
+// The fields are grouped by facet: Search holds the strategy toggles
+// the ablation experiments flip, Guidance the seeded branch-and-bound
+// layer, Budget the anytime resource bounds, and Trace observability.
 // The toggles exist because the paper places heuristics and search
-// control "into the hands of the optimizer implementor": they drive the
-// ablation experiments in EXPERIMENTS.md and let implementors reproduce
-// weaker strategies (EXODUS- or Starburst-like) for comparison.
+// control "into the hands of the optimizer implementor": they let
+// implementors reproduce weaker strategies (EXODUS- or Starburst-like)
+// for comparison.
+//
+// NewOptimizer validates the configuration and panics on a
+// contradictory one; callers accepting user-supplied options should
+// call Validate first.
 type Options struct {
+	// Search selects the search strategy.
+	Search SearchOptions
+	// Guidance configures guided (seeded) branch-and-bound.
+	Guidance GuidanceOptions
+	// Budget bounds the resources one optimization call may consume.
+	Budget Budget
+	// Trace configures search observability.
+	Trace TraceOptions
+}
+
+// SearchOptions are the search-strategy toggles. The zero value is the
+// paper's exhaustive, pruned, memoizing search.
+type SearchOptions struct {
 	// NoPruning disables branch-and-bound: every move is pursued to
 	// completion regardless of the cost limit.
 	NoPruning bool
@@ -30,19 +52,21 @@ type Options struct {
 	// implementation rules against all of a class's expressions, as the
 	// engine originally did. It exists for A/B testing the incremental
 	// scheme (the results must be identical) and as a safety valve.
-	// Setting MoveFilter implies NoIncremental: heuristics must see the
-	// full move list of every iteration.
 	NoIncremental bool
-	// MaxExprs bounds the number of logical expressions in the memo;
-	// exceeding it aborts optimization with ErrBudget. Zero means
-	// unbounded.
-	MaxExprs int
 	// MoveFilter, if non-nil, selects and orders the moves pursued for
 	// each optimization goal. It receives the promise-ordered move
 	// list and returns the (possibly trimmed, reordered) list to
 	// pursue. Returning a subset makes the search heuristic rather
-	// than exhaustive.
+	// than exhaustive. MoveFilter requires NoIncremental — heuristics
+	// must see the complete move list of every iteration, which the
+	// incremental cache does not replay — and Validate rejects the
+	// combination otherwise.
 	MoveFilter func(moves []Move) []Move
+}
+
+// GuidanceOptions configure guided branch-and-bound: a seed planner
+// whose plan cost primes the search's cost limit.
+type GuidanceOptions struct {
 	// SeedPlanner, if non-nil, switches Optimize and OptimizeWithLimit
 	// to guided branch-and-bound: the planner produces a cheap complete
 	// plan before the exhaustive search runs, and the seed's cost
@@ -53,7 +77,9 @@ type Options struct {
 	// the caller's limit, reusing the winner and failure tables across
 	// stages. Guided search returns only plans found by the search
 	// engine, never the seed itself, so the returned plan and its cost
-	// are identical to an unguided exhaustive run.
+	// are identical to an unguided exhaustive run. (The seed plan does
+	// serve as the degradation floor when a Budget stops the search —
+	// see OptimizeWithLimitCtx.)
 	SeedPlanner SeedPlanner
 	// SeedStages is the number of seeded limit stages guided search
 	// runs before the final stage at the caller's limit; values < 1
@@ -64,8 +90,50 @@ type Options struct {
 	// takes effect only when the model's cost type implements
 	// ScalableCost.
 	SeedGrowth float64
-	// Trace, if non-nil, receives search-trace events.
-	Trace TraceFunc
+}
+
+// TraceOptions configure search observability.
+type TraceOptions struct {
+	// Tracer, if non-nil, receives structured search-trace events (see
+	// TraceEvent). Use TextTracer or ClassicTracer for the engine's
+	// one-line text rendering.
+	Tracer Tracer
+}
+
+// Validate checks the configuration for contradictions: a MoveFilter
+// without NoIncremental, GlueMode combined with a SeedPlanner, or
+// negative guidance and budget bounds. NewOptimizer panics on an
+// invalid configuration; servers accepting user-supplied options should
+// validate first and surface the error instead.
+func (o *Options) Validate() error {
+	if o == nil {
+		return nil
+	}
+	if o.Search.MoveFilter != nil && !o.Search.NoIncremental {
+		return errors.New("core: Search.MoveFilter requires Search.NoIncremental — heuristics must see the complete move list of every iteration, which the incremental move cache does not replay")
+	}
+	if o.Search.GlueMode && o.Guidance.SeedPlanner != nil {
+		return errors.New("core: Search.GlueMode and Guidance.SeedPlanner are mutually exclusive — glue mode optimizes without property-directed limits to guide")
+	}
+	if o.Guidance.SeedStages < 0 {
+		return fmt.Errorf("core: Guidance.SeedStages must not be negative, got %d", o.Guidance.SeedStages)
+	}
+	if o.Guidance.SeedGrowth < 0 {
+		return fmt.Errorf("core: Guidance.SeedGrowth must not be negative, got %g", o.Guidance.SeedGrowth)
+	}
+	if o.Budget.Timeout < 0 {
+		return fmt.Errorf("core: Budget.Timeout must not be negative, got %s", o.Budget.Timeout)
+	}
+	if o.Budget.MaxSteps < 0 {
+		return fmt.Errorf("core: Budget.MaxSteps must not be negative, got %d", o.Budget.MaxSteps)
+	}
+	if o.Budget.MaxMemoBytes < 0 {
+		return fmt.Errorf("core: Budget.MaxMemoBytes must not be negative, got %d", o.Budget.MaxMemoBytes)
+	}
+	if o.Budget.MaxExprs < 0 {
+		return fmt.Errorf("core: Budget.MaxExprs must not be negative, got %d", o.Budget.MaxExprs)
+	}
+	return nil
 }
 
 // MoveKind distinguishes the three kinds of moves the optimizer can
@@ -104,6 +172,14 @@ type Move struct {
 	// once at collection time so repeated pursuits of a cached move
 	// skip the tree walk (and its allocation).
 	leaves []GroupID
+}
+
+// Name returns the implementation rule's or enforcer's name.
+func (mv *Move) Name() string {
+	if mv.Kind == MoveEnforcer {
+		return mv.Enforcer.Name
+	}
+	return mv.Rule.Name
 }
 
 // Stats accumulates search-effort counters for one optimizer run. They
@@ -167,4 +243,24 @@ type Stats struct {
 	// enforcer's local cost alone, before any input was optimized — the
 	// cheapest kind of pruning, and the one a seeded limit multiplies.
 	MovesSkipped int
+
+	// SeedFloorCost is the cost of the complete seed plan captured as the
+	// anytime degradation floor (SeedPlan.Plan); nil when the seed
+	// planner supplied only a cost. When non-nil, a budget-stopped search
+	// never returns a plan costing more than this floor.
+	SeedFloorCost Cost
+
+	// StopReason is the typed budget error that stopped the search, or
+	// nil when it ran to completion. It explains a degraded (anytime)
+	// result: which bound was exhausted.
+	StopReason error
+	// AnytimeFallback reports that the returned plan came from the
+	// degradation path — a previously recorded root winner, the seed
+	// plan, or the query as written — rather than from the stopped
+	// search activation itself.
+	AnytimeFallback bool
 }
+
+// Steps returns the number of search steps taken: moves pursued, the
+// unit Budget.MaxSteps bounds.
+func (s *Stats) Steps() int { return s.AlgorithmMoves + s.EnforcerMoves }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,8 +30,12 @@ type ParallelJob struct {
 // ParallelResult is the outcome of one ParallelJob.
 type ParallelResult struct {
 	// Plan is the optimal plan, or nil if none exists within budget.
+	// When Err is a budget error the plan may be a degraded (anytime)
+	// result — the best complete plan found before the stop; see
+	// Optimizer.OptimizeWithLimitCtx.
 	Plan *Plan
-	// Err is the optimizer error (e.g. ErrBudget), if any.
+	// Err is the optimizer error (e.g. a typed budget error matching
+	// ErrBudget), if any.
 	Err error
 	// Stats are the job's search-effort counters.
 	Stats Stats
@@ -47,6 +52,15 @@ type ParallelResult struct {
 // compile server batching many queries scales with cores without any
 // locking in the search engine itself.
 func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
+	return ParallelOptimizeCtx(context.Background(), jobs, workers)
+}
+
+// ParallelOptimizeCtx is ParallelOptimize under a context, giving the
+// batch two cancellation scopes: canceling ctx stops the whole pool
+// (every unfinished job degrades to its anytime result), while each
+// job's own Options.Budget bounds that job alone — armed per job, so one
+// pathological query exhausts only its own budget, not the batch's.
+func ParallelOptimizeCtx(ctx context.Context, jobs []ParallelJob, workers int) []ParallelResult {
 	results := make([]ParallelResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -69,7 +83,7 @@ func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = runJob(&jobs[i])
+				results[i] = runJob(ctx, &jobs[i])
 			}
 		}()
 	}
@@ -78,9 +92,9 @@ func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
 }
 
 // runJob executes one job on a fresh optimizer.
-func runJob(job *ParallelJob) ParallelResult {
+func runJob(ctx context.Context, job *ParallelJob) ParallelResult {
 	o := NewOptimizer(job.Model, job.Options)
 	root := job.Build(o)
-	plan, err := o.Optimize(root, job.Required)
+	plan, err := o.OptimizeCtx(ctx, root, job.Required)
 	return ParallelResult{Plan: plan, Err: err, Stats: *o.Stats()}
 }

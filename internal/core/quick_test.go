@@ -81,11 +81,14 @@ func TestQuickOptimumMatchesClosedForm(t *testing.T) {
 func TestQuickPruningAndMemoInvariant(t *testing.T) {
 	variants := []core.Options{
 		{},
-		{NoPruning: true},
-		{NoFailureMemo: true},
-		{NoPruning: true, NoFailureMemo: true},
-		{SeedPlanner: core.SyntacticSeedPlanner()},
-		{SeedPlanner: core.SyntacticSeedPlanner(), NoFailureMemo: true},
+		{Search: core.SearchOptions{NoPruning: true}},
+		{Search: core.SearchOptions{NoFailureMemo: true}},
+		{Search: core.SearchOptions{NoPruning: true, NoFailureMemo: true}},
+		{Guidance: core.GuidanceOptions{SeedPlanner: core.SyntacticSeedPlanner()}},
+		{
+			Search:   core.SearchOptions{NoFailureMemo: true},
+			Guidance: core.GuidanceOptions{SeedPlanner: core.SyntacticSeedPlanner()},
+		},
 	}
 	check := func(s toyShape) bool {
 		want := toyOptimum(s.leaves, true)
@@ -184,14 +187,17 @@ func TestQuickMoveFilterNeverImproves(t *testing.T) {
 
 		rng := rand.New(rand.NewSource(seed))
 		filtered := core.NewOptimizer(&toyModel{}, &core.Options{
-			MoveFilter: func(moves []core.Move) []core.Move {
-				out := moves[:0]
-				for _, m := range moves {
-					if m.Kind == core.MoveEnforcer || rng.Intn(2) == 0 {
-						out = append(out, m)
+			Search: core.SearchOptions{
+				NoIncremental: true, // MoveFilter requires the full-recollection path
+				MoveFilter: func(moves []core.Move) []core.Move {
+					out := moves[:0]
+					for _, m := range moves {
+						if m.Kind == core.MoveEnforcer || rng.Intn(2) == 0 {
+							out = append(out, m)
+						}
 					}
-				}
-				return out
+					return out
+				},
 			},
 		})
 		gf := filtered.InsertQuery(s.tree)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -22,20 +24,34 @@ type Optimizer struct {
 	// lower is the model's admissible cost floor, when it provides one
 	// (see LowerBounder); nil otherwise.
 	lower LowerBounder
+	// tracer receives structured search-trace events; nil when tracing
+	// is off.
+	tracer Tracer
+	// bud is the armed budget of the current optimization call; nil
+	// when neither the context nor the options bound the search.
+	bud *budgetState
+	// seedFallback is a complete plan captured from the seed planner,
+	// kept as the degradation floor for anytime returns.
+	seedFallback *Plan
 }
 
 // NewOptimizer creates an optimizer for the model. opts may be nil for
-// the default (exhaustive, pruned, memoizing) configuration.
+// the default (exhaustive, pruned, memoizing) configuration; a non-nil
+// opts must satisfy Options.Validate, or NewOptimizer panics.
 func NewOptimizer(model Model, opts *Options) *Optimizer {
 	if n := len(model.TransformationRules()); n > MaxTransformRules {
 		panic(fmt.Sprintf("core: model %s declares %d transformation rules; max is %d",
 			model.Name(), n, MaxTransformRules))
+	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
 	}
 	o := &Optimizer{model: model}
 	o.lower, _ = model.(LowerBounder)
 	if opts != nil {
 		o.opts = *opts
 	}
+	o.tracer = o.opts.Trace.Tracer
 	o.memo = NewMemo(model, &o.opts, &o.stats)
 	o.ctx = &RuleContext{Memo: o.memo, Model: model}
 	return o
@@ -53,13 +69,20 @@ func (o *Optimizer) InsertQuery(t *ExprTree) GroupID {
 	return o.memo.InsertTree(t, InvalidGroup)
 }
 
-// Explore expands the class (and, through rule bindings, everything it
-// references) to transformation-rule fixpoint without any algorithm
+// Explore expands the class to transformation-rule fixpoint without a
+// context; see ExploreCtx.
+func (o *Optimizer) Explore(g GroupID) error {
+	return o.ExploreCtx(context.Background(), g)
+}
+
+// ExploreCtx expands the class (and, through rule bindings, everything
+// it references) to transformation-rule fixpoint without any algorithm
 // selection or cost analysis. This is the extreme point the paper
 // mentions — transforming a logical expression without cost analysis,
 // covering the optimizations Starburst separates into its query rewrite
-// level — available here as a choice, not a mandate.
-func (o *Optimizer) Explore(g GroupID) error {
+// level — available here as a choice, not a mandate. Cancellation and
+// the configured Budget stop the expansion with a typed budget error.
+func (o *Optimizer) ExploreCtx(ctx context.Context, g GroupID) error {
 	if g == InvalidGroup {
 		// Query insertion itself failed (e.g. expression budget).
 		if err := o.memo.Err(); err != nil {
@@ -67,23 +90,56 @@ func (o *Optimizer) Explore(g GroupID) error {
 		}
 		return ErrBudget
 	}
+	o.armBudget(ctx)
 	o.memo.exploreGroup(o.memo.Group(g))
+	if err := o.memo.err; err != nil && errors.Is(err, ErrBudget) {
+		o.stats.StopReason = err
+	}
 	return o.memo.err
 }
 
 // Optimize finds the cheapest plan for the class that delivers the
 // required physical properties (nil means no requirement). It is the
 // original invocation of the paper's FindBestPlan, with the cost limit
-// set to infinity.
+// set to infinity and no cancellation.
 func (o *Optimizer) Optimize(root GroupID, required PhysProps) (*Plan, error) {
-	return o.OptimizeWithLimit(root, required, o.model.InfiniteCost())
+	return o.OptimizeWithLimitCtx(context.Background(), root, required, o.model.InfiniteCost())
 }
 
-// OptimizeWithLimit is Optimize with a caller-supplied cost limit; a
+// OptimizeCtx is Optimize under a context: cancellation (and a context
+// deadline) stops the search with the anytime degradation described on
+// OptimizeWithLimitCtx.
+func (o *Optimizer) OptimizeCtx(ctx context.Context, root GroupID, required PhysProps) (*Plan, error) {
+	return o.OptimizeWithLimitCtx(ctx, root, required, o.model.InfiniteCost())
+}
+
+// OptimizeWithLimit is OptimizeWithLimitCtx without a context.
+func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Cost) (*Plan, error) {
+	return o.OptimizeWithLimitCtx(context.Background(), root, required, limit)
+}
+
+// OptimizeWithLimitCtx is Optimize with a caller-supplied cost limit; a
 // user interface may set a finite limit to "catch" unreasonable queries.
 // The limit is inclusive: a plan costing exactly the limit is within it.
-// If no plan within the limit exists, the returned plan is nil.
-func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Cost) (*Plan, error) {
+//
+// The return contract distinguishes three outcomes:
+//
+//   - (plan, nil): the search ran to completion; plan is optimal within
+//     the limit.
+//   - (nil, nil): the search ran to completion and proved that no plan
+//     within the limit exists.
+//   - (plan?, err) with errors.Is(err, ErrBudget): the context was
+//     canceled or a Budget bound was exhausted. The search degrades
+//     gracefully instead of failing: plan, when non-nil, is the best
+//     complete, consistency-checked plan known at the stop — the root
+//     winner found so far, the guided seed plan, or the query as
+//     written — and Stats.StopReason records what stopped the search.
+//     plan is nil only when not even a fallback plan within the limit
+//     exists.
+//
+// Any other error (a model inconsistency surfaced through the memo) is
+// returned with a nil plan.
+func (o *Optimizer) OptimizeWithLimitCtx(ctx context.Context, root GroupID, required PhysProps, limit Cost) (*Plan, error) {
 	if root == InvalidGroup {
 		if err := o.memo.Err(); err != nil {
 			return nil, err
@@ -93,23 +149,90 @@ func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Co
 	if required == nil {
 		required = o.model.AnyProps()
 	}
-	var plan *Plan
-	switch {
-	case o.opts.GlueMode:
-		plan = o.glueOptimize(root, required, limit)
-	case o.opts.SeedPlanner != nil:
-		plan = o.guidedOptimize(root, required, limit)
-	default:
-		plan, _ = o.findBestPlan(root, required, nil, limit, true)
+	o.armBudget(ctx)
+	if o.bud != nil && o.memo.err == nil {
+		// An already-expired context or deadline stops the search before
+		// it starts; the anytime path below still produces a plan.
+		if err := o.bud.poll(); err != nil {
+			o.memo.err = err
+		}
 	}
-	if err := o.memo.Err(); err != nil {
-		return nil, err
+	var plan *Plan
+	if o.memo.err == nil {
+		switch {
+		case o.opts.Search.GlueMode:
+			plan = o.glueOptimize(root, required, limit)
+		case o.opts.Guidance.SeedPlanner != nil:
+			plan = o.guidedOptimize(root, required, limit)
+		default:
+			plan, _ = o.findBestPlan(root, required, nil, limit, true)
+		}
 	}
 	if b := o.memo.MemoryBytes(); b > o.stats.PeakMemoBytes {
 		o.stats.PeakMemoBytes = b
 	}
-	return plan, nil
+	err := o.memo.Err()
+	if err == nil {
+		// A nil plan here is definitive: the completed search proved no
+		// plan within the limit exists. This is the engine's only
+		// (nil, nil) return.
+		return plan, nil
+	}
+	if !errors.Is(err, ErrBudget) {
+		return nil, err
+	}
+	// Anytime degradation: surface the best complete plan known at the
+	// stop alongside the typed budget error.
+	o.stats.StopReason = err
+	if plan == nil {
+		if fb := o.anytimeFallback(root, required, limit); fb != nil {
+			o.stats.AnytimeFallback = true
+			plan = fb
+		}
+	}
+	if o.tracer != nil {
+		o.tracer.Trace(TraceEvent{Kind: TraceBudgetStop, Group: root,
+			Required: required, Steps: o.stats.Steps(), Err: err})
+	}
+	return plan, err
 }
+
+// anytimeFallback produces the degraded result for a budget-stopped
+// search whose interrupted activation returned no plan: the cheapest of
+// the root winner recorded by an earlier guided stage, the seed
+// planner's complete plan if it captured one, and — as the last resort
+// — the query costed as written with transformations disabled. Every
+// candidate is a complete, consistency-checked plan; candidates not
+// covering the requirement or exceeding the caller's limit are
+// rejected, and nil is returned only when no fallback within the limit
+// exists. Taking the minimum guarantees that, when the seed floor
+// exists, the degraded result never costs more than the floor.
+func (o *Optimizer) anytimeFallback(root GroupID, required PhysProps, limit Cost) *Plan {
+	var best *Plan
+	offer := func(p *Plan) {
+		if p != nil && costLE(p.Cost, limit) && (best == nil || p.Cost.Less(best.Cost)) {
+			best = p
+		}
+	}
+	g := o.memo.Group(root)
+	if w := g.lookupWinner(required, nil); w != nil && w.plan != nil {
+		offer(w.plan)
+	}
+	if p := o.seedFallback; p != nil && p.Delivered != nil && p.Delivered.Covers(required) {
+		offer(p)
+	}
+	if best == nil {
+		offer(o.syntacticPlan(root, required))
+	}
+	return best
+}
+
+// Budgeted reports whether the current (or most recent) optimization
+// call runs under an armed budget — a cancelable context, a deadline, or
+// any Budget bound. Seed planners use it to decide whether materializing
+// a complete floor plan is worth the extra work: without a budget the
+// floor can never be needed.
+func (o *Optimizer) Budgeted() bool { return o.bud != nil }
 
 // classFloor returns the memoized admissible cost floor for a class, or
 // nil when the model declines. Only called when o.lower is non-nil.
@@ -119,13 +242,6 @@ func (o *Optimizer) classFloor(g *Group) Cost {
 		g.floorSet = true
 	}
 	return g.floor
-}
-
-// trace emits a search-trace event if tracing is enabled.
-func (o *Optimizer) trace(format string, args ...any) {
-	if o.opts.Trace != nil {
-		o.opts.Trace(format, args...)
-	}
 }
 
 // goal carries the mutable state of one FindBestPlan activation.
@@ -179,7 +295,7 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 			// be met by any other plan.
 			return nil, false
 		}
-		if !o.opts.NoFailureMemo && w.failedLimit != nil {
+		if !o.opts.Search.NoFailureMemo && w.failedLimit != nil {
 			// A recorded failure at limit F certifies that no plan
 			// costs strictly less than F. An exclusive query at
 			// limit <= F is therefore hopeless; an inclusive query
@@ -197,7 +313,7 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	// the class need not be explored nor its moves collected at all.
 	// This is where a finite seeded limit saves work that incumbent-
 	// driven pruning cannot: it is in force before any plan exists.
-	if o.lower != nil && !o.opts.NoPruning {
+	if o.lower != nil && !o.opts.Search.NoPruning {
 		if lb := o.classFloor(g); lb != nil {
 			if inclusive && limit.Less(lb) || !inclusive && costLE(limit, lb) {
 				o.stats.GoalsPruned++
@@ -220,6 +336,10 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 		}
 	}()
 	o.stats.GoalsOptimized++
+	if o.tracer != nil {
+		o.tracer.Trace(TraceEvent{Kind: TraceGoalBegin, Group: gid,
+			Required: required, Excluded: excluded, Limit: limit})
+	}
 
 	// Incremental move collection: moves are cached per (class,
 	// requirement) with an expression watermark, so each fixpoint
@@ -229,9 +349,9 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	// without any re-matching. A merge anywhere in the memo voids the
 	// cache — through the enlarged class, already-matched expressions
 	// may bind anew. MoveFilter heuristics must see the complete move
-	// list of every iteration, so they fall back to from-scratch
-	// collection.
-	incremental := o.opts.MoveFilter == nil && !o.opts.NoIncremental
+	// list of every iteration, so they require the from-scratch path
+	// (Options.Validate enforces the pairing with NoIncremental).
+	incremental := o.opts.Search.MoveFilter == nil && !o.opts.Search.NoIncremental
 	var mk physKey
 	if incremental {
 		mk = keyOf(required)
@@ -276,11 +396,25 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 			done = len(ms.moves)
 		} else {
 			moves = o.collectMoves(g, required)
-			if o.opts.MoveFilter != nil {
-				moves = o.opts.MoveFilter(moves)
+			if o.opts.Search.MoveFilter != nil {
+				moves = o.opts.Search.MoveFilter(moves)
 			}
 		}
 		for i := range moves {
+			// The budget checkpoint charges each pursued move; on
+			// exhaustion the sticky memo error unwinds every active
+			// goal transiently, keeping partial results unmemoized.
+			if o.bud != nil {
+				if err := o.bud.step(); err != nil {
+					o.memo.err = err
+					s.transient = true
+					break
+				}
+			}
+			if o.tracer != nil {
+				o.tracer.Trace(TraceEvent{Kind: TraceMovePursued, Group: gid,
+					Required: required, Move: moves[i].Name(), MoveKind: moves[i].Kind})
+			}
 			switch moves[i].Kind {
 			case MoveAlgorithm:
 				o.pursueAlgorithm(s, g, &moves[i])
@@ -309,13 +443,21 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 
 	// Maintain the look-up table of explored facts: optimal plans and
 	// failures are both interesting with respect to possible future use.
+	// A budget-interrupted activation still records (and returns) its
+	// best complete plan — the anytime result — but never memoizes a
+	// failure, since the search was not exhaustive.
 	gid = o.memo.Find(gid)
 	fw := o.memo.groups[gid-1].ensureWinnerKeyed(wk, required, excluded)
 	if s.best != nil {
 		if fw.plan == nil || s.best.Cost.Less(fw.cost) {
 			fw.plan, fw.cost = s.best, s.best.Cost
 		}
-		o.trace("winner group=%d props=%s cost=%s plan=%s", gid, required, fw.cost, fw.plan)
+		if o.tracer != nil {
+			o.tracer.Trace(TraceEvent{Kind: TraceWinner, Group: gid,
+				Required: required, Cost: fw.cost, Plan: fw.plan})
+			o.tracer.Trace(TraceEvent{Kind: TraceGoalEnd, Group: gid,
+				Required: required, Cost: fw.cost})
+		}
 		if costLE(fw.cost, limit) {
 			return fw.plan, false
 		}
@@ -323,12 +465,18 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	}
 	if !s.transient {
 		o.stats.GoalsPruned++
-		if !o.opts.NoFailureMemo {
+		if !o.opts.Search.NoFailureMemo {
 			if fw.failedLimit == nil || fw.failedLimit.Less(limit) {
 				fw.failedLimit = limit
 			}
-			o.trace("failure group=%d props=%s limit=%s", gid, required, limit)
+			if o.tracer != nil {
+				o.tracer.Trace(TraceEvent{Kind: TraceFailure, Group: gid,
+					Required: required, Limit: limit})
+			}
 		}
+	}
+	if o.tracer != nil {
+		o.tracer.Trace(TraceEvent{Kind: TraceGoalEnd, Group: gid, Required: required})
 	}
 	return nil, s.transient
 }
@@ -451,7 +599,7 @@ func cloneBinding(b *Binding) *Binding {
 // goal admits partial costs equal to the bound — a complete plan at
 // exactly the (seeded) limit is acceptable.
 func (o *Optimizer) prune(s *goal, partial Cost) bool {
-	if o.opts.NoPruning {
+	if o.opts.Search.NoPruning {
 		return false
 	}
 	if s.inclusive {
@@ -475,7 +623,7 @@ func (o *Optimizer) prune(s *goal, partial Cost) bool {
 // zero; the result is clamped so a legitimate zero-budget child goal is
 // not turned into a spurious (and memoized) failure.
 func (o *Optimizer) childLimit(s *goal, partial Cost) Cost {
-	if o.opts.NoPruning {
+	if o.opts.Search.NoPruning {
 		return o.model.InfiniteCost()
 	}
 	rem := s.limit.Sub(partial)
@@ -492,7 +640,7 @@ func (o *Optimizer) childLimit(s *goal, partial Cost) Cost {
 func (o *Optimizer) offer(s *goal, p *Plan) {
 	if s.best == nil || p.Cost.Less(s.best.Cost) {
 		s.best = p
-		if !o.opts.NoPruning && (p.Cost.Less(s.limit) || (s.inclusive && costLE(p.Cost, s.limit))) {
+		if !o.opts.Search.NoPruning && (p.Cost.Less(s.limit) || (s.inclusive && costLE(p.Cost, s.limit))) {
 			s.limit = p.Cost
 		}
 		s.inclusive = false
@@ -514,7 +662,7 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 	// floors both when pruning and when budgeting a sibling's limit.
 	var floors []Cost
 	var floorSum Cost
-	if o.lower != nil && !o.opts.NoPruning {
+	if o.lower != nil && !o.opts.Search.NoPruning {
 		floorSum = o.model.ZeroCost()
 		floors = make([]Cost, len(leaves))
 		for i, leaf := range leaves {
@@ -543,6 +691,10 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 		}
 		if o.prune(s, charged) {
 			o.stats.MovesSkipped++
+			if o.tracer != nil {
+				o.tracer.Trace(TraceEvent{Kind: TraceMoveSkipped, Group: g.id,
+					Required: s.required, Move: rule.Name, MoveKind: MoveAlgorithm})
+			}
 			continue
 		}
 		inPlans := make([]*Plan, len(leaves))
@@ -550,7 +702,7 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 		ok := true
 		for i, leaf := range leaves {
 			childReq := alt.Required[i]
-			if o.opts.GlueMode {
+			if o.opts.Search.GlueMode {
 				childReq = o.model.AnyProps()
 			}
 			partial := total
@@ -564,7 +716,7 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 				ok = false
 				break
 			}
-			if o.opts.GlueMode {
+			if o.opts.Search.GlueMode {
 				// Starburst-style glue: patch the input up to the
 				// algorithm's needs after the fact.
 				p, ok = o.wrapWithEnforcers(p, alt.Required[i], 0)
@@ -580,6 +732,10 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 				charged = total.Add(rest)
 			}
 			if o.prune(s, charged) {
+				if o.tracer != nil {
+					o.tracer.Trace(TraceEvent{Kind: TraceMovePruned, Group: g.id,
+						Required: s.required, Move: rule.Name, MoveKind: MoveAlgorithm})
+				}
 				ok = false
 				break
 			}
@@ -595,8 +751,11 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 			// The paper's consistency check: the physical properties
 			// of a chosen plan really must satisfy the goal's vector.
 			o.stats.ConsistencyViolations++
-			o.trace("consistency violation: rule %s delivered %s for required %s",
-				rule.Name, delivered, s.required)
+			if o.tracer != nil {
+				o.tracer.Trace(TraceEvent{Kind: TraceViolation, Group: g.id,
+					Required: s.required, Delivered: delivered,
+					Move: rule.Name, MoveKind: MoveAlgorithm})
+			}
 			continue
 		}
 		if s.excluded != nil && delivered.Covers(s.excluded) {
@@ -636,7 +795,7 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 	local := enf.Cost(o.ctx, g.logProps, s.required)
 	total := local
 	charged := total
-	if o.lower != nil && !o.opts.NoPruning {
+	if o.lower != nil && !o.opts.Search.NoPruning {
 		// The enforcer's input is this same class, so the class floor is
 		// a sound advance charge for the input plan.
 		if lb := o.classFloor(g); lb != nil {
@@ -645,6 +804,10 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 	}
 	if o.prune(s, charged) {
 		o.stats.MovesSkipped++
+		if o.tracer != nil {
+			o.tracer.Trace(TraceEvent{Kind: TraceMoveSkipped, Group: g.id,
+				Required: s.required, Move: enf.Name, MoveKind: MoveEnforcer})
+		}
 		return
 	}
 	in, tr := o.findBestPlan(g.id, relaxed, excl, o.childLimit(s, total), s.inclusive)
@@ -654,6 +817,10 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 	}
 	total = total.Add(in.Cost)
 	if o.prune(s, total) {
+		if o.tracer != nil {
+			o.tracer.Trace(TraceEvent{Kind: TraceMovePruned, Group: g.id,
+				Required: s.required, Move: enf.Name, MoveKind: MoveEnforcer})
+		}
 		return
 	}
 	delivered := s.required
@@ -662,8 +829,11 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 	}
 	if !delivered.Covers(s.required) {
 		o.stats.ConsistencyViolations++
-		o.trace("consistency violation: enforcer %s delivered %s for required %s",
-			enf.Name, delivered, s.required)
+		if o.tracer != nil {
+			o.tracer.Trace(TraceEvent{Kind: TraceViolation, Group: g.id,
+				Required: s.required, Delivered: delivered,
+				Move: enf.Name, MoveKind: MoveEnforcer})
+		}
 		return
 	}
 	if s.excluded != nil && delivered.Covers(s.excluded) {

@@ -199,7 +199,7 @@ func TestWinnerAndFailureMemo(t *testing.T) {
 
 // TestExpressionBudget: exceeding MaxExprs surfaces ErrBudget.
 func TestExpressionBudget(t *testing.T) {
-	opt := newToyOpt(&core.Options{MaxExprs: 5})
+	opt := newToyOpt(&core.Options{Budget: core.Budget{MaxExprs: 5}})
 	g := opt.InsertQuery(leftDeepPair("a", "b", "c", "d", "e"))
 	_, err := opt.Optimize(g, nil)
 	if err == nil {
@@ -210,14 +210,17 @@ func TestExpressionBudget(t *testing.T) {
 // TestMoveFilterHeuristic: a filter that drops every enforcer move makes
 // color goals unsatisfiable through paint; colored-pair remains.
 func TestMoveFilterHeuristic(t *testing.T) {
-	opts := &core.Options{MoveFilter: func(moves []core.Move) []core.Move {
-		var out []core.Move
-		for _, m := range moves {
-			if m.Kind != core.MoveEnforcer {
-				out = append(out, m)
+	opts := &core.Options{Search: core.SearchOptions{
+		NoIncremental: true, // MoveFilter requires the full-recollection path
+		MoveFilter: func(moves []core.Move) []core.Move {
+			var out []core.Move
+			for _, m := range moves {
+				if m.Kind != core.MoveEnforcer {
+					out = append(out, m)
+				}
 			}
-		}
-		return out
+			return out
+		},
 	}}
 	opt := newToyOpt(opts)
 	g := opt.InsertQuery(pair(leaf("a"), leaf("b")))
@@ -240,7 +243,7 @@ func TestNoPruningSameOptimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	np := newToyOpt(&core.Options{NoPruning: true})
+	np := newToyOpt(&core.Options{Search: core.SearchOptions{NoPruning: true}})
 	gn := np.InsertQuery(tree)
 	pn, err := np.Optimize(gn, toyColor(1))
 	if err != nil {
@@ -261,7 +264,7 @@ func TestGlueModeNeverCheaper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	glue := newToyOpt(&core.Options{GlueMode: true})
+	glue := newToyOpt(&core.Options{Search: core.SearchOptions{GlueMode: true}})
 	gg := glue.InsertQuery(tree)
 	pg, err := glue.Optimize(gg, toyColor(1))
 	if err != nil {
@@ -278,11 +281,11 @@ func TestGlueModeNeverCheaper(t *testing.T) {
 	}
 }
 
-// TestTrace: tracing emits winner events.
+// TestTrace: tracing emits winner events in the classic text format.
 func TestTrace(t *testing.T) {
 	var sb strings.Builder
-	opt := newToyOpt(&core.Options{Trace: func(f string, a ...any) {
-		sb.WriteString(strings.TrimSpace(strings.ReplaceAll(f, "%", "")) + "\n")
+	opt := newToyOpt(&core.Options{Trace: core.TraceOptions{
+		Tracer: core.ClassicTracer(func(line string) { sb.WriteString(line + "\n") }),
 	}})
 	g := opt.InsertQuery(pair(leaf("a"), leaf("b")))
 	if _, err := opt.Optimize(g, nil); err != nil {

@@ -64,7 +64,7 @@ func TestPropertyDirectedPlansRunFaster(t *testing.T) {
 		return plan
 	}
 	directed := optimize(nil)
-	glued := optimize(&core.Options{GlueMode: true})
+	glued := optimize(&core.Options{Search: core.SearchOptions{GlueMode: true}})
 	if !directed.Cost.Less(glued.Cost) {
 		t.Skip("plans coincide under this cost model; nothing to compare")
 	}

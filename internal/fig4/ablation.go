@@ -23,9 +23,9 @@ type Variant struct {
 func Variants() []Variant {
 	return []Variant{
 		{Name: "default"},
-		{Name: "no-pruning", Options: core.Options{NoPruning: true}},
-		{Name: "no-failure-memo", Options: core.Options{NoFailureMemo: true}},
-		{Name: "glue-mode", Options: core.Options{GlueMode: true}},
+		{Name: "no-pruning", Options: core.Options{Search: core.SearchOptions{NoPruning: true}}},
+		{Name: "no-failure-memo", Options: core.Options{Search: core.SearchOptions{NoFailureMemo: true}}},
+		{Name: "glue-mode", Options: core.Options{Search: core.SearchOptions{GlueMode: true}}},
 	}
 }
 

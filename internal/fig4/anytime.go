@@ -1,0 +1,170 @@
+package fig4
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// The anytime experiment exercises the engine's graceful degradation:
+// the hardest Figure-4 queries are optimized under shrinking wall-clock
+// (or step) budgets, and every budget-stopped search must still hand
+// back a complete plan that satisfies the required properties and costs
+// no more than the greedy seed. The experiment is the acceptance test
+// for the anytime contract — Invalid must be zero at every budget.
+
+// AnytimePoint is one budget level of the anytime experiment.
+type AnytimePoint struct {
+	// Timeout and MaxSteps are the per-query budget (at most one is set;
+	// zero means that bound is off).
+	Timeout  time.Duration
+	MaxSteps int
+	// Queries is the number of queries attempted.
+	Queries int
+	// Degraded counts searches the budget stopped before optimality was
+	// proven; Completed counts searches that finished inside the budget.
+	Degraded, Completed int
+	// Invalid counts budget-stopped searches that violated the anytime
+	// contract: no plan at all, a plan missing the required properties,
+	// or a plan costing more than the greedy seed. Any non-zero value is
+	// a bug.
+	Invalid int
+	// MeanCostRatio is the mean anytime-cost / optimal-cost over all
+	// queries (1.0 = every budgeted run still found the optimum).
+	MeanCostRatio float64
+	// MeanSteps is the mean number of moves pursued before returning.
+	MeanSteps float64
+}
+
+// RunAnytime measures graceful degradation on the hardest complexity
+// level of the Figure-4 workload (cfg.MaxRelations input relations),
+// guided by the greedy seed planner so a degradation floor exists. Each
+// query is first optimized without a budget to establish the optimal
+// cost, then once per entry of budgets.
+func RunAnytime(cfg Config, budgets []core.Budget) []AnytimePoint {
+	cfg = cfg.Defaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	queries := make([]datagen.Query, cfg.QueriesPerLevel)
+	optimal := make([]float64, cfg.QueriesPerLevel)
+	for q := range queries {
+		queries[q] = src.SelectJoinQuery(cat, cfg.MaxRelations, cfg.Shape)
+		_, cost, _, err := MeasureVolcano(cat, queries[q], nil)
+		if err != nil {
+			panic(fmt.Sprintf("fig4: unbudgeted run failed: %v", err))
+		}
+		optimal[q] = cost
+	}
+
+	var points []AnytimePoint
+	for _, budget := range budgets {
+		pt := AnytimePoint{
+			Timeout:  budget.Timeout,
+			MaxSteps: budget.MaxSteps,
+			Queries:  len(queries),
+		}
+		var ratio, steps float64
+		for q, query := range queries {
+			opts := &core.Options{
+				Guidance: core.GuidanceOptions{SeedPlanner: model.SeedPlanner()},
+				Budget:   budget,
+			}
+			plan, stats, err := measureAnytime(cat, model, query, opts)
+			steps += float64(stats.Steps())
+			if err == nil {
+				pt.Completed++
+			} else if !errors.Is(err, core.ErrBudget) {
+				panic(fmt.Sprintf("fig4: non-budget error on anytime run: %v", err))
+			} else {
+				pt.Degraded++
+				if !validAnytime(plan, query, stats) {
+					pt.Invalid++
+					continue
+				}
+			}
+			ratio += plan.Cost.(relopt.Cost).Total() / optimal[q]
+		}
+		if n := pt.Queries - pt.Invalid; n > 0 {
+			pt.MeanCostRatio = ratio / float64(n)
+		}
+		pt.MeanSteps = steps / float64(pt.Queries)
+		points = append(points, pt)
+	}
+	return points
+}
+
+// measureAnytime optimizes one query under the given options and returns
+// the plan, the search stats, and the optimizer's error verbatim (a
+// budget error may accompany a usable plan).
+func measureAnytime(cat *rel.Catalog, model core.Model, query datagen.Query, opts *core.Options) (*core.Plan, core.Stats, error) {
+	opt := core.NewOptimizer(model, opts)
+	root := opt.InsertQuery(query.Root)
+	var required core.PhysProps
+	if query.OrderBy != rel.InvalidCol {
+		required = relopt.SortedOn(query.OrderBy)
+	}
+	plan, err := opt.Optimize(root, required)
+	return plan, *opt.Stats(), err
+}
+
+// validAnytime checks the anytime contract on a degraded result: a
+// complete plan exists, it delivers the required properties, and when
+// the seed planner materialized a floor plan the result costs no more
+// than that floor.
+func validAnytime(plan *core.Plan, query datagen.Query, stats core.Stats) bool {
+	if plan == nil || plan.Cost == nil {
+		return false
+	}
+	if query.OrderBy != rel.InvalidCol {
+		required := relopt.SortedOn(query.OrderBy)
+		if plan.Delivered == nil || !plan.Delivered.Covers(required) {
+			return false
+		}
+	}
+	complete := true
+	plan.Walk(func(p *core.Plan) {
+		if p.Op == nil || p.Cost == nil {
+			complete = false
+		}
+	})
+	if !complete {
+		return false
+	}
+	if fc, ok := stats.SeedFloorCost.(relopt.Cost); ok {
+		if plan.Cost.(relopt.Cost).Total() > fc.Total() {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatAnytime renders the degradation table.
+func FormatAnytime(points []AnytimePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Anytime optimization under budgets (degraded plans must stay valid)\n")
+	fmt.Fprintf(&b, "%-14s %8s %9s %9s %8s %10s %10s\n",
+		"budget", "queries", "completed", "degraded", "invalid", "cost-x", "steps")
+	for _, p := range points {
+		budget := "none"
+		switch {
+		case p.Timeout > 0 && p.MaxSteps > 0:
+			budget = fmt.Sprintf("%v/%d", p.Timeout, p.MaxSteps)
+		case p.Timeout > 0:
+			budget = p.Timeout.String()
+		case p.MaxSteps > 0:
+			budget = fmt.Sprintf("%d steps", p.MaxSteps)
+		}
+		fmt.Fprintf(&b, "%-14s %8d %9d %9d %8d %9.3fx %10.0f\n",
+			budget, p.Queries, p.Completed, p.Degraded, p.Invalid,
+			p.MeanCostRatio, p.MeanSteps)
+	}
+	return b.String()
+}

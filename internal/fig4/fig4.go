@@ -119,7 +119,9 @@ func Run(cfg Config) []Point {
 	var volOpts *core.Options
 	if !cfg.Unguided {
 		volOpts = &core.Options{
-			SeedPlanner: relopt.New(cat, relopt.DefaultConfig()).SeedPlanner(),
+			Guidance: core.GuidanceOptions{
+				SeedPlanner: relopt.New(cat, relopt.DefaultConfig()).SeedPlanner(),
+			},
 		}
 	}
 

@@ -63,7 +63,7 @@ func RunGuided(cfg Config) []GuidedPoint {
 				panic(fmt.Sprintf("fig4: exhaustive failed on %d relations: %v", n, err))
 			}
 			gms, gcost, gstats, err := MeasureVolcano(cat, query, &core.Options{
-				SeedPlanner: model.SeedPlanner(),
+				Guidance: core.GuidanceOptions{SeedPlanner: model.SeedPlanner()},
 			})
 			if err != nil {
 				panic(fmt.Sprintf("fig4: guided failed on %d relations: %v", n, err))

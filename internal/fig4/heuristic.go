@@ -65,7 +65,11 @@ func RunHeuristic(cfg Config) []HeuristicPoint {
 				query := src.SelectJoinQuery(cat, n, cfg.Shape)
 				opts := &core.Options{}
 				if k > 0 {
-					opts.MoveFilter = topMovesFilter(k)
+					// MoveFilter heuristics require the from-scratch
+					// move path; Options.Validate rejects the filter
+					// without NoIncremental.
+					opts.Search.MoveFilter = topMovesFilter(k)
+					opts.Search.NoIncremental = true
 				}
 				ms, cost, _, err := MeasureVolcano(cat, query, opts)
 				if err != nil {

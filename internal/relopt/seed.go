@@ -103,6 +103,18 @@ var _ core.LowerBounder = (*Model)(nil)
 func (m *Model) SeedPlanner() core.SeedPlanner {
 	return func(o *core.Optimizer, root core.GroupID, required core.PhysProps) *core.SeedPlan {
 		if sp := m.greedySeed(o, root, required); sp != nil {
+			// The greedy seed prices a plan it never builds (it may drop
+			// intra-component predicates, so materializing it would
+			// change query results). Under a budget the search needs a
+			// real degradation floor, so attach the syntactic plan — the
+			// query as written, correct by construction — while keeping
+			// the (usually tighter) greedy cost as the seeded limit.
+			// Unbudgeted runs skip the extra pass entirely.
+			if o.Budgeted() {
+				if syn := o.SyntacticSeed(root, required); syn != nil {
+					sp.Plan = syn.Plan
+				}
+			}
 			return sp
 		}
 		return o.SyntacticSeed(root, required)

@@ -10,6 +10,8 @@
 package vdb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -24,12 +26,15 @@ type Options struct {
 	// Config is the optimizer model configuration; the zero value is
 	// completed with defaults.
 	Config relopt.Config
-	// Search tunes the search engine (ablation toggles, tracing).
+	// Search tunes the search engine (ablation toggles, budgets,
+	// tracing). Search.Budget bounds every optimization the database
+	// runs; a budget-stopped optimization degrades to the best plan
+	// found (see Result.Degraded) instead of failing the query.
 	Search core.Options
 	// Guided seeds branch-and-bound with the model's greedy
 	// join-ordering planner; it is a convenience for callers that do
 	// not hold the catalog yet (OpenDir), equivalent to setting
-	// Search.SeedPlanner. An explicit Search.SeedPlanner wins.
+	// Search.Guidance.SeedPlanner. An explicit SeedPlanner wins.
 	Guided bool
 	// DynamicBuckets, when non-empty, makes Prepare of parameterized
 	// queries produce dynamic plans over these selectivity
@@ -52,8 +57,8 @@ func Open(cat *rel.Catalog, data map[string][][]int64, opts *Options) *DB {
 	if opts != nil {
 		db.opts = *opts
 	}
-	if db.opts.Guided && db.opts.Search.SeedPlanner == nil {
-		db.opts.Search.SeedPlanner = relopt.New(cat, db.opts.Config).SeedPlanner()
+	if db.opts.Guided && db.opts.Search.Guidance.SeedPlanner == nil {
+		db.opts.Search.Guidance.SeedPlanner = relopt.New(cat, db.opts.Config).SeedPlanner()
 	}
 	return db
 }
@@ -71,6 +76,37 @@ type Result struct {
 	Plan *core.Plan
 	// Stats are the optimizer's search counters.
 	Stats core.Stats
+	// Degraded, when non-nil, is the typed budget error (matching
+	// core.ErrBudget) that stopped the optimizer before it could prove
+	// the plan optimal: the query ran on the best complete plan found
+	// within the budget. Nil for fully optimized queries.
+	Degraded error
+}
+
+// optimize runs the search engine over a parsed statement under the
+// database's configured search options and the caller's context. A
+// budget-stopped search with a usable anytime plan is reported as a
+// degraded success; only a stop with no plan at all (or a non-budget
+// error) fails. The returned stats include StopReason for degraded runs.
+func (db *DB) optimize(ctx context.Context, tree *core.ExprTree, required core.PhysProps) (*core.Plan, core.Stats, error, error) {
+	opts := db.opts.Search
+	if err := opts.Validate(); err != nil {
+		return nil, core.Stats{}, nil, err
+	}
+	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
+	root := opt.InsertQuery(tree)
+	plan, err := opt.OptimizeCtx(ctx, root, required)
+	stats := *opt.Stats()
+	if err != nil {
+		if plan != nil && errors.Is(err, core.ErrBudget) {
+			return plan, stats, err, nil
+		}
+		return nil, stats, nil, err
+	}
+	if plan == nil {
+		return nil, stats, nil, fmt.Errorf("vdb: no plan satisfies the query")
+	}
+	return plan, stats, nil, nil
 }
 
 // Stmt is a prepared statement: parsed, optimized (statically or
@@ -80,12 +116,23 @@ type Stmt struct {
 	plan    *core.Plan
 	dynamic bool
 	nparams int
+	// degraded records the budget error of a degraded optimization; the
+	// statement still executes the best plan found.
+	degraded error
 }
 
-// Prepare parses and optimizes a statement. Queries with `$n`
-// parameters get a dynamic plan (a choose-plan over selectivity
-// regions); fully specified queries get a single optimal plan.
+// Prepare parses and optimizes a statement; see PrepareCtx.
 func (db *DB) Prepare(sql string) (*Stmt, error) {
+	return db.PrepareCtx(context.Background(), sql)
+}
+
+// PrepareCtx parses and optimizes a statement. Queries with `$n`
+// parameters get a dynamic plan (a choose-plan over selectivity
+// regions); fully specified queries get a single optimal plan. The
+// context cancels or deadline-bounds the optimization: a budget-stopped
+// search yields a statement carrying the best plan found (see
+// Stmt.Degraded) rather than an error.
+func (db *DB) PrepareCtx(ctx context.Context, sql string) (*Stmt, error) {
 	st, err := sqlish.Parse(db.cat, sql)
 	if err != nil {
 		return nil, err
@@ -101,18 +148,16 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 		}
 		return &Stmt{db: db, plan: res.Plan, dynamic: res.Alternatives > 1, nparams: 1}, nil
 	}
-	opts := db.opts.Search
-	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
-	root := opt.InsertQuery(st.Tree)
-	plan, err := opt.Optimize(root, st.Required)
+	plan, _, degraded, err := db.optimize(ctx, st.Tree, st.Required)
 	if err != nil {
 		return nil, err
 	}
-	if plan == nil {
-		return nil, fmt.Errorf("vdb: no plan satisfies the query")
-	}
-	return &Stmt{db: db, plan: plan}, nil
+	return &Stmt{db: db, plan: plan, degraded: degraded}, nil
 }
+
+// Degraded reports the budget error that stopped the statement's
+// optimization, or nil when the plan is proven optimal.
+func (s *Stmt) Degraded() error { return s.degraded }
 
 // Exec runs the prepared statement with the given parameter values.
 func (s *Stmt) Exec(params ...int64) (*Result, error) {
@@ -133,8 +178,18 @@ func (s *Stmt) Plan() *core.Plan { return s.plan }
 // Dynamic reports whether the statement carries runtime alternatives.
 func (s *Stmt) Dynamic() bool { return s.dynamic }
 
-// Query parses, optimizes, and executes a fully specified statement.
+// Query parses, optimizes, and executes a fully specified statement;
+// see QueryCtx.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses, optimizes, and executes a fully specified statement.
+// The context bounds the optimization phase: canceling it (or exceeding
+// the configured Search.Budget) degrades the query to the best complete
+// plan found — the query still runs, and Result.Degraded explains what
+// stopped the search. Execution itself is not canceled.
+func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	st, err := sqlish.Parse(db.cat, sql)
 	if err != nil {
 		return nil, err
@@ -142,25 +197,20 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if countParams(st.Tree) != 0 {
 		return nil, fmt.Errorf("vdb: parameterized query requires Prepare/Exec or QueryParams")
 	}
-	opts := db.opts.Search
-	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
-	root := opt.InsertQuery(st.Tree)
-	plan, err := opt.Optimize(root, st.Required)
+	plan, stats, degraded, err := db.optimize(ctx, st.Tree, st.Required)
 	if err != nil {
 		return nil, err
-	}
-	if plan == nil {
-		return nil, fmt.Errorf("vdb: no plan satisfies the query")
 	}
 	rows, schema, err := exec.Run(db.data, plan)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
-		Rows:    rows,
-		Columns: columnNames(db.cat, schema),
-		Plan:    plan,
-		Stats:   *opt.Stats(),
+		Rows:     rows,
+		Columns:  columnNames(db.cat, schema),
+		Plan:     plan,
+		Stats:    stats,
+		Degraded: degraded,
 	}, nil
 }
 
@@ -175,21 +225,25 @@ func (db *DB) QueryParams(sql string, params ...int64) (*Result, error) {
 }
 
 // Explain parses and optimizes without executing, returning the plan
-// rendering.
+// rendering; see ExplainCtx.
 func (db *DB) Explain(sql string) (string, error) {
+	return db.ExplainCtx(context.Background(), sql)
+}
+
+// ExplainCtx parses and optimizes without executing, returning the plan
+// rendering. A budget-stopped optimization renders the degraded plan
+// with a leading note naming the exhausted bound.
+func (db *DB) ExplainCtx(ctx context.Context, sql string) (string, error) {
 	st, err := sqlish.Parse(db.cat, sql)
 	if err != nil {
 		return "", err
 	}
-	opts := db.opts.Search
-	opt := core.NewOptimizer(relopt.New(db.cat, db.opts.Config), &opts)
-	root := opt.InsertQuery(st.Tree)
-	plan, err := opt.Optimize(root, st.Required)
+	plan, _, degraded, err := db.optimize(ctx, st.Tree, st.Required)
 	if err != nil {
 		return "", err
 	}
-	if plan == nil {
-		return "", fmt.Errorf("vdb: no plan satisfies the query")
+	if degraded != nil {
+		return fmt.Sprintf("-- degraded: %v\n%s", degraded, plan.Format()), nil
 	}
 	return plan.Format(), nil
 }

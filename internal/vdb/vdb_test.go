@@ -108,7 +108,9 @@ func TestSearchOptionsPropagate(t *testing.T) {
 	cat := src.Catalog(2)
 	traced := false
 	db := vdb.Open(cat, src.Rows(cat), &vdb.Options{
-		Search: core.Options{Trace: func(string, ...any) { traced = true }},
+		Search: core.Options{Trace: core.TraceOptions{
+			Tracer: core.ClassicTracer(func(string) { traced = true }),
+		}},
 	})
 	if _, err := db.Query("SELECT id FROM R1"); err != nil {
 		t.Fatal(err)

@@ -86,7 +86,7 @@ func TestRelOptIncrementalMatchesFromScratch(t *testing.T) {
 			if err != nil || pi == nil {
 				t.Fatalf("%s incremental: %v", name, err)
 			}
-			scr := core.NewOptimizer(model, &core.Options{NoIncremental: true})
+			scr := core.NewOptimizer(model, &core.Options{Search: core.SearchOptions{NoIncremental: true}})
 			ps, err := scr.Optimize(scr.InsertQuery(query.Root), relopt.SortedOn(query.OrderBy))
 			if err != nil || ps == nil {
 				t.Fatalf("%s from-scratch: %v", name, err)
