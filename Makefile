@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet staticcheck bench bench-guided bench-anytime
+.PHONY: build test test-race vet staticcheck bench bench-guided bench-anytime bench-cache fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,14 @@ bench-guided:
 # (volcano-bench exits non-zero on any contract violation).
 bench-anytime:
 	$(GO) run ./cmd/volcano-bench -experiment anytime -queries 8 -json ""
+
+# Plan-cache serving: warm verified hits against cold optimization, with
+# the cache micro-benchmarks. volcano-bench exits non-zero if any served
+# plan's cost differs from a fresh optimization's.
+bench-cache:
+	$(GO) run ./cmd/volcano-bench -experiment fig4cache -json ""
+	$(GO) test -run NONE -bench 'BenchmarkCache' -benchmem ./internal/plancache/
+
+# Short fingerprint-soundness fuzz over the checked-in seed corpus.
+fuzz-fingerprint:
+	$(GO) test -run '^$$' -fuzz FuzzFingerprint -fuzztime 20s ./internal/core/

@@ -4,6 +4,7 @@
 //	volcano-bench -experiment fig4       # Figure 4: Volcano vs EXODUS
 //	volcano-bench -experiment fig4guided # guided B&B vs exhaustive A/B
 //	volcano-bench -experiment fig4par    # worker-pool throughput sweep
+//	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4cache | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -47,6 +48,7 @@ func main() {
 	timeout := flag.Duration("exodus-timeout", 30*time.Second, "per-query EXODUS time budget")
 	maxNodes := flag.Int("exodus-max-nodes", 1<<20, "EXODUS MESH node budget")
 	workers := flag.Int("workers", 0, "fig4par worker-pool size (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-size", 0, "fig4cache plan-cache budget in bytes (0 = cache default)")
 	optTimeout := flag.Duration("timeout", 0, "anytime per-query wall-clock budget (0 = sweep defaults)")
 	optSteps := flag.Int("max-steps", 0, "anytime per-query step budget in moves pursued (0 = sweep defaults)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
@@ -74,10 +76,11 @@ func main() {
 		ExodusTimeout:   *timeout,
 	}
 
-	// The fig4 and fig4par results feed one combined JSON report,
-	// written after all requested experiments have run.
+	// The fig4, fig4par, and fig4cache results feed one combined JSON
+	// report, written after all requested experiments have run.
 	var fig4Points []fig4.Point
 	var fig4Sweep *fig4.Sweep
+	var fig4Cache *fig4.CacheResult
 
 	run := func(name string) {
 		switch name {
@@ -90,6 +93,20 @@ func main() {
 			sweep := fig4.RunVolcanoSweep(cfg, *workers)
 			fig4Sweep = &sweep
 			fmt.Print(fig4.FormatSweep(sweep))
+		case "fig4cache":
+			fig4Cache = fig4.RunCache(fig4.CacheConfig{
+				Seed:            *seed,
+				QueriesPerLevel: *queries,
+				MinRelations:    *minRels,
+				MaxRelations:    *maxRels,
+				Shape:           sh,
+				CacheBytes:      *cacheBytes,
+			})
+			fmt.Print(fig4.FormatCache(fig4Cache))
+			if fig4Cache.Mismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d cache-served plans diverged from fresh optimization costs\n", fig4Cache.Mismatches)
+				os.Exit(1)
+			}
 		case "ablation":
 			fmt.Print(fig4.FormatAblation(fig4.RunAblation(cfg)))
 		case "altprops":
@@ -136,15 +153,28 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4cache", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
+		rep.Cache = fig4Cache
+		// Keep the sections of experiments this invocation did not rerun.
+		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
+			if fig4Points == nil && old.Points != nil {
+				rep.Points, rep.Config = old.Points, old.Config
+			}
+			if fig4Sweep == nil {
+				rep.Parallel = old.Parallel
+			}
+			if fig4Cache == nil {
+				rep.Cache = old.Cache
+			}
+		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "volcano-bench: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)

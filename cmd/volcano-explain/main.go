@@ -23,6 +23,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/exec"
 	"repro/internal/exodus"
+	"repro/internal/plancache"
 	"repro/internal/rel"
 	"repro/internal/relopt"
 	"repro/internal/sqlish"
@@ -42,6 +43,7 @@ func main() {
 	dot := flag.Bool("dot", false, "print the plan as a Graphviz digraph")
 	timeout := flag.Duration("timeout", 0, "optimization wall-clock budget (0 = unbounded); on exhaustion the best plan found is printed")
 	maxSteps := flag.Int("max-steps", 0, "optimization step budget in moves pursued (0 = unbounded)")
+	cacheSize := flag.Int64("cache-size", 0, "plan-cache budget in bytes; >0 replays the query through the plan cache and reports the verified-hit latency")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -116,6 +118,24 @@ func main() {
 	}
 	if *dot {
 		fmt.Printf("\n%s", plan.Dot())
+	}
+
+	if *cacheSize > 0 && !degraded {
+		cache := plancache.New(plancache.Options{MaxBytes: *cacheSize})
+		fp, canon := core.FingerprintQuery(model, st.Tree, required)
+		cache.Put(fp, canon, &plancache.Entry{Plan: plan, Cost: plan.Cost, Stats: *opt.Stats()})
+		wStart := time.Now()
+		wfp, wcanon := core.FingerprintQuery(model, st.Tree, required)
+		e, ok := cache.Get(wfp, wcanon)
+		wElapsed := time.Since(wStart)
+		if !ok {
+			fatal(fmt.Errorf("plan cache replay missed"))
+		}
+		if e.Cost != plan.Cost {
+			fatal(fmt.Errorf("plan cache replay cost %v differs from fresh cost %v", e.Cost, plan.Cost))
+		}
+		fmt.Printf("\nplan cache: fingerprint %s, verified hit in %v (cold optimization took %v)\n",
+			fp, wElapsed, elapsed)
 	}
 
 	if *baseline {

@@ -10,7 +10,10 @@
 // The generated package declares a Support interface for the
 // implementor-supplied functions the specification references; see
 // internal/gen/testdata/minirel.model for a worked specification and
-// internal/gen/minirel for its generated output.
+// internal/gen/minirel for its generated output. Generated models also
+// carry a Version token (a fingerprint of the generated rule set, mixed
+// with the support code's own token when it implements core.Versioned)
+// so plan caches stop serving entries from regenerated optimizers.
 package main
 
 import (

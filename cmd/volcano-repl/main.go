@@ -4,8 +4,13 @@
 //	\tables            list tables and statistics
 //	\explain SELECT …  show the plan without executing
 //	\memo SELECT …     show the memo after optimizing
+//	\cache             show plan-cache counters
 //	\seed N            regenerate the database with a new seed
 //	\quit
+//
+// Repeated queries are served from a fingerprint-keyed plan cache
+// (-cache-size bytes; 0 disables), so only the first occurrence of a
+// query shape pays for optimization.
 //
 // The database is the Figure-4 workload schema (tables R1..Rn with
 // columns id, ja, jb, v), generated in memory — or, with -data DIR, a
@@ -38,10 +43,11 @@ func main() {
 	trace := flag.Bool("trace", false, "print search-trace events (winners, failures, violations)")
 	timeout := flag.Duration("timeout", 0, "per-query optimization wall-clock budget (0 = unbounded)")
 	maxSteps := flag.Int("max-steps", 0, "per-query optimization step budget in moves pursued (0 = unbounded)")
+	cacheSize := flag.Int64("cache-size", 64<<20, "plan-cache budget in bytes (0 disables the cache)")
 	flag.Parse()
 
 	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
-	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget}
+	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget, cacheBytes: *cacheSize}
 	if *dataDir != "" {
 		db, err := vdb.OpenDir(*dataDir, r.options())
 		if err != nil {
@@ -67,19 +73,20 @@ func main() {
 }
 
 type repl struct {
-	db     *vdb.DB
-	cat    *rel.Catalog
-	seed   int64
-	tables int
-	limit  int
-	guided bool
-	trace  bool
-	budget core.Budget
+	db         *vdb.DB
+	cat        *rel.Catalog
+	seed       int64
+	tables     int
+	limit      int
+	guided     bool
+	trace      bool
+	budget     core.Budget
+	cacheBytes int64
 }
 
 // options assembles the database options from the repl's flags.
 func (r *repl) options() *vdb.Options {
-	opts := &vdb.Options{Guided: r.guided}
+	opts := &vdb.Options{Guided: r.guided, CacheBytes: r.cacheBytes}
 	opts.Search.Budget = r.budget
 	if r.trace {
 		opts.Search.Trace.Tracer = core.ClassicTracer(func(line string) {
@@ -132,8 +139,19 @@ func (r *repl) dispatch(line string) bool {
 	case strings.HasPrefix(line, `\memo `):
 		r.memo(strings.TrimPrefix(line, `\memo `))
 
+	case line == `\cache`:
+		c := r.db.PlanCache()
+		if c == nil {
+			fmt.Println("plan cache disabled (-cache-size 0)")
+			break
+		}
+		ct := c.Counters()
+		fmt.Printf("plan cache: %d hits, %d misses, %d coalesced, %d evictions\n",
+			ct.CacheHits, ct.CacheMisses, ct.Coalesced, ct.Evictions)
+		fmt.Printf("            %d entries, %d bytes resident\n", ct.Entries, ct.CacheBytes)
+
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown command; available: \\tables \\explain \\memo \\seed \\quit")
+		fmt.Println("unknown command; available: \\tables \\explain \\memo \\cache \\seed \\quit")
 
 	default:
 		r.query(line)
@@ -178,6 +196,9 @@ func (r *repl) query(sql string) {
 	}
 	fmt.Printf("%d rows; %d classes, %d expressions explored\n",
 		len(res.Rows), res.Stats.Groups, res.Stats.Exprs)
+	if res.Stats.CacheHit {
+		fmt.Println("plan served from cache")
+	}
 	if res.Degraded != nil {
 		fmt.Printf("degraded: %v after %d steps; ran best plan found\n",
 			res.Degraded, res.Stats.Steps())

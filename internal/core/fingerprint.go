@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// This file implements canonical query fingerprinting: a stable 128-bit
+// identity for (logical expression tree, required physical properties,
+// model version) triples. Fingerprints key cross-query plan caches and
+// batch-level duplicate detection — any context where "the same query
+// shape" must be recognized without rebuilding a memo.
+//
+// The fingerprint is computed entirely from a canonical text rendering
+// of the query: the operator tree with every commutative operator's
+// inputs sorted into a deterministic order, prefixed by the model name,
+// the model's version token, and the required property vector. Two
+// queries share a fingerprint exactly when they share the canonical
+// rendering, so callers that retain the rendering can verify a cache
+// hit byte-for-byte and treat 128-bit hash collisions as harmless: a
+// colliding entry fails verification and is handled as a miss.
+
+// Fingerprint is a 128-bit canonical query identity. The zero value is
+// not a valid fingerprint of any query.
+type Fingerprint struct {
+	// Hi and Lo are the two independently mixed 64-bit hash lanes.
+	Hi, Lo uint64
+}
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x%016x", f.Hi, f.Lo) }
+
+// Commuter is an optional Model extension declaring the logical
+// operators whose inputs are order-insensitive (joins, set union,
+// intersection, …). Fingerprinting sorts the canonical renderings of a
+// commutative operator's inputs, so input permutations of the same
+// query collapse to one fingerprint. Models that do not implement the
+// interface get order-sensitive fingerprints — still sound, just blind
+// to commuted duplicates.
+type Commuter interface {
+	// CommutativeInputs reports whether op's inputs may be reordered
+	// without changing the operator's meaning. It must agree with the
+	// model's transformation rules: declare an operator commutative
+	// only if the rule set proves permuted input orders equivalent
+	// (i.e. the memo would collapse them into one class).
+	CommutativeInputs(op LogicalOp) bool
+}
+
+// Versioned is an optional Model extension stamping the model with a
+// version token. The token must change whenever the model could
+// produce a different plan or cost for the same query text: rule-set
+// edits, cost-parameter changes, catalog schema or statistics updates.
+// Fingerprints mix the token in, so version bumps invalidate every
+// cached plan keyed under the old token.
+type Versioned interface {
+	// Version returns the current model/catalog version token.
+	Version() uint64
+}
+
+// FingerprintQuery computes the canonical fingerprint of a query: a
+// logical expression tree plus the physical properties its plan must
+// deliver, under the given model. It returns the fingerprint and the
+// canonical rendering it hashes; cache implementations retain the
+// rendering and compare it on hit, which makes hash collisions
+// detectable (and therefore harmless).
+//
+// Canonicalization relies on LogicalOp.String rendering operator
+// arguments injectively — two operators of the same kind with different
+// arguments must render differently — which every model in this
+// repository satisfies.
+func FingerprintQuery(model Model, tree *ExprTree, required PhysProps) (Fingerprint, string) {
+	var b strings.Builder
+	b.Grow(128)
+	b.WriteString(model.Name())
+	if v, ok := model.(Versioned); ok {
+		fmt.Fprintf(&b, "#%x", v.Version())
+	}
+	b.WriteByte('|')
+	if required != nil {
+		b.WriteString(required.String())
+	}
+	b.WriteByte('|')
+	commuter, _ := model.(Commuter)
+	b.WriteString(canonicalTree(commuter, tree))
+	canon := b.String()
+	return hash128(canon), canon
+}
+
+// canonicalTree renders an expression tree in canonical form: operator
+// renderings with parenthesized inputs, commutative operators' inputs
+// sorted by their own canonical renderings. Class-reference leaves
+// render as "@<group>".
+func canonicalTree(c Commuter, t *ExprTree) string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.Op == nil {
+		return fmt.Sprintf("@%d", t.Group)
+	}
+	if len(t.Children) == 0 {
+		return t.Op.String()
+	}
+	parts := make([]string, len(t.Children))
+	for i, ch := range t.Children {
+		parts[i] = canonicalTree(c, ch)
+	}
+	if len(parts) > 1 && c != nil && c.CommutativeInputs(t.Op) {
+		sort.Strings(parts)
+	}
+	return t.Op.String() + "(" + strings.Join(parts, ",") + ")"
+}
+
+// hash128 hashes a canonical rendering into both fingerprint lanes:
+// lane one is FNV-1a, lane two an independent multiply-rotate mix, each
+// finalized with a murmur-style avalanche. The lanes share no constants,
+// so a collision requires both 64-bit hashes to collide on the same
+// pair of strings.
+func hash128(s string) Fingerprint {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+		mixSeed   = 0xC2B2AE3D27D4EB4F
+		mixMul    = 0x9E3779B185EBCA87
+	)
+	hi := uint64(fnvOffset)
+	lo := uint64(mixSeed)
+	for i := 0; i < len(s); i++ {
+		c := uint64(s[i])
+		hi = (hi ^ c) * fnvPrime
+		lo = bits.RotateLeft64(lo^(c*mixMul), 29) * 5
+	}
+	// Mix the length into the second lane so sparse updates (lo absorbs
+	// nothing from zero bytes after the multiply) still separate "" from
+	// "\x00".
+	lo ^= uint64(len(s))
+	return Fingerprint{Hi: avalanche(hi), Lo: avalanche(lo)}
+}
+
+// avalanche is the murmur3 64-bit finalizer: a bijective mix that
+// spreads low-entropy inputs across all output bits.
+func avalanche(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

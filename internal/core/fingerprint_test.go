@@ -1,0 +1,210 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fpToy wraps the toy model with the optional fingerprint extensions:
+// PAIR inputs are commutative when commute is set, and version, when
+// non-zero, is the model's version token.
+type fpToy struct {
+	toyModel
+	commute bool
+	version uint64
+}
+
+func (m *fpToy) CommutativeInputs(op core.LogicalOp) bool {
+	return m.commute && op.Kind() == kindPair
+}
+
+func (m *fpToy) Version() uint64 { return m.version }
+
+func fpOf(m core.Model, t *core.ExprTree, req core.PhysProps) (core.Fingerprint, string) {
+	return core.FingerprintQuery(m, t, req)
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	m := &fpToy{commute: true}
+	tree := pair(pair(leaf("a"), leaf("b")), leaf("c"))
+	fp1, canon1 := fpOf(m, tree, toyColor(1))
+	fp2, canon2 := fpOf(m, tree, toyColor(1))
+	if fp1 != fp2 || canon1 != canon2 {
+		t.Fatalf("fingerprint not deterministic: %v/%q vs %v/%q", fp1, canon1, fp2, canon2)
+	}
+	if fp1 == (core.Fingerprint{}) {
+		t.Fatal("fingerprint is the zero value")
+	}
+}
+
+func TestFingerprintCommutativePermutations(t *testing.T) {
+	m := &fpToy{commute: true}
+	ab := pair(leaf("a"), leaf("b"))
+	ba := pair(leaf("b"), leaf("a"))
+	fpAB, canonAB := fpOf(m, ab, toyColor(0))
+	fpBA, canonBA := fpOf(m, ba, toyColor(0))
+	if canonAB != canonBA {
+		t.Fatalf("commuted canons differ: %q vs %q", canonAB, canonBA)
+	}
+	if fpAB != fpBA {
+		t.Fatalf("commuted fingerprints differ: %v vs %v", fpAB, fpBA)
+	}
+
+	// Nested: every PAIR level sorts independently.
+	deep1 := pair(pair(leaf("a"), leaf("b")), pair(leaf("c"), leaf("d")))
+	deep2 := pair(pair(leaf("d"), leaf("c")), pair(leaf("b"), leaf("a")))
+	fp1, _ := fpOf(m, deep1, toyColor(0))
+	fp2, _ := fpOf(m, deep2, toyColor(0))
+	if fp1 != fp2 {
+		t.Fatalf("nested commuted fingerprints differ: %v vs %v", fp1, fp2)
+	}
+
+	// Commutativity merges orders, not structures: PAIR(PAIR(a,b),c) and
+	// PAIR(a,PAIR(b,c)) are associativity variants and stay distinct.
+	assoc1 := pair(pair(leaf("a"), leaf("b")), leaf("c"))
+	assoc2 := pair(leaf("a"), pair(leaf("b"), leaf("c")))
+	fpL, _ := fpOf(m, assoc1, toyColor(0))
+	fpR, _ := fpOf(m, assoc2, toyColor(0))
+	if fpL == fpR {
+		t.Fatal("associativity variants share a fingerprint")
+	}
+}
+
+func TestFingerprintNonCommutativeModel(t *testing.T) {
+	m := &fpToy{commute: false}
+	fpAB, canonAB := fpOf(m, pair(leaf("a"), leaf("b")), toyColor(0))
+	fpBA, canonBA := fpOf(m, pair(leaf("b"), leaf("a")), toyColor(0))
+	if canonAB == canonBA {
+		t.Fatal("non-commutative model still merged input orders")
+	}
+	if fpAB == fpBA {
+		t.Fatal("distinct canons share a fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	m := &fpToy{commute: true}
+	base := pair(leaf("a"), leaf("b"))
+	fpBase, _ := fpOf(m, base, toyColor(0))
+
+	cases := map[string]struct {
+		tree *core.ExprTree
+		req  core.PhysProps
+	}{
+		"different leaf":     {pair(leaf("a"), leaf("x")), toyColor(0)},
+		"extra level":        {pair(base, leaf("c")), toyColor(0)},
+		"different required": {base, toyColor(1)},
+	}
+	for name, c := range cases {
+		fp, _ := fpOf(m, c.tree, c.req)
+		if fp == fpBase {
+			t.Errorf("%s: fingerprint equals the base query's", name)
+		}
+	}
+}
+
+func TestFingerprintVersionToken(t *testing.T) {
+	tree := pair(leaf("a"), leaf("b"))
+	v1, _ := fpOf(&fpToy{commute: true, version: 1}, tree, toyColor(0))
+	v2, _ := fpOf(&fpToy{commute: true, version: 2}, tree, toyColor(0))
+	if v1 == v2 {
+		t.Fatal("version bump did not change the fingerprint")
+	}
+	v1again, _ := fpOf(&fpToy{commute: true, version: 1}, tree, toyColor(0))
+	if v1 != v1again {
+		t.Fatal("same version produced different fingerprints")
+	}
+}
+
+// buildFuzzTree decodes a byte program into an expression tree with a
+// simple stack machine: low bytes push leaves (16 distinct names), high
+// bytes combine the top two stack entries into a PAIR. The remaining
+// stack is folded left into pairs, so every input decodes to one tree.
+func buildFuzzTree(data []byte) *core.ExprTree {
+	var stack []*core.ExprTree
+	for _, b := range data {
+		if b < 128 || len(stack) < 2 {
+			stack = append(stack, leaf(string(rune('a'+int(b%16)))))
+			continue
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		stack = append(stack, pair(l, r))
+	}
+	if len(stack) == 0 {
+		return leaf("z")
+	}
+	t := stack[0]
+	for _, n := range stack[1:] {
+		t = pair(t, n)
+	}
+	return t
+}
+
+// mirrorTree swaps the children of every PAIR node — the deepest
+// commutative permutation of a tree.
+func mirrorTree(t *core.ExprTree) *core.ExprTree {
+	if t == nil || len(t.Children) == 0 {
+		return t
+	}
+	kids := make([]*core.ExprTree, len(t.Children))
+	for i, c := range t.Children {
+		kids[len(t.Children)-1-i] = mirrorTree(c)
+	}
+	return core.Node(t.Op, kids...)
+}
+
+// FuzzFingerprint checks fingerprint soundness on arbitrary tree shapes:
+// commutative permutations always share a fingerprint, and queries with
+// distinct canonical forms never do.
+func FuzzFingerprint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 200})
+	f.Add([]byte{3, 4, 5, 200, 200})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 200, 200, 200, 200, 129, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := &fpToy{commute: true, version: 7}
+		tree := buildFuzzTree(data)
+		req := toyColor(0)
+		if len(data) > 0 {
+			req = toyColor(int(data[0]) % 3)
+		}
+
+		fp1, canon1 := fpOf(m, tree, req)
+		fp2, canon2 := fpOf(m, tree, req)
+		if fp1 != fp2 || canon1 != canon2 {
+			t.Fatalf("not deterministic: %v vs %v", fp1, fp2)
+		}
+
+		// Commutative permutations collapse to the same fingerprint.
+		fpM, canonM := fpOf(m, mirrorTree(tree), req)
+		if canonM != canon1 || fpM != fp1 {
+			t.Fatalf("mirrored tree diverged: %q/%v vs %q/%v", canon1, fp1, canonM, fpM)
+		}
+
+		// Distinct canonical forms never share a fingerprint. Grow the
+		// tree, change the requirement, and change the version: each must
+		// move the fingerprint (a failure here is a found 128-bit
+		// collision or a canonicalization bug).
+		for name, other := range map[string]struct {
+			model core.Model
+			tree  *core.ExprTree
+			req   core.PhysProps
+		}{
+			"grown":   {m, pair(tree, leaf("q")), req},
+			"req":     {m, tree, req + 1},
+			"version": {&fpToy{commute: true, version: 8}, tree, req},
+		} {
+			fpO, canonO := core.FingerprintQuery(other.model, other.tree, other.req)
+			if canonO == canon1 {
+				t.Fatalf("%s: canon unchanged: %q", name, canon1)
+			}
+			if fpO == fp1 {
+				t.Fatalf("%s: distinct canons %q vs %q share fingerprint %v", name, canon1, canonO, fp1)
+			}
+		}
+	})
+}

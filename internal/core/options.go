@@ -250,6 +250,16 @@ type Stats struct {
 	// never returns a plan costing more than this floor.
 	SeedFloorCost Cost
 
+	// CacheHit reports that this result was served from a plan cache:
+	// the plan, cost, and the other counters in this struct describe
+	// the original search that produced the cached entry, not work done
+	// by the serving call.
+	CacheHit bool
+	// Coalesced reports that this result was shared from an identical
+	// optimization running concurrently (or from a duplicate job in the
+	// same ParallelOptimize batch) instead of being searched again.
+	Coalesced bool
+
 	// StopReason is the typed budget error that stopped the search, or
 	// nil when it ran to completion. It explains a degraded (anytime)
 	// result: which bound was exhausted.

@@ -20,8 +20,16 @@ type ParallelJob struct {
 	// Options configures the job's optimizer; nil means defaults.
 	Options *Options
 	// Build inserts the job's query into the fresh optimizer and
-	// returns its root class (typically via InsertQuery).
+	// returns its root class (typically via InsertQuery). Jobs built
+	// through a callback are opaque to the batch deduplicator; prefer
+	// Tree when the query is available as an expression tree.
 	Build func(o *Optimizer) GroupID
+	// Tree is the job's query as a logical expression tree; it is used
+	// when Build is nil. Tree-form jobs are canonically fingerprinted,
+	// and duplicates within one batch (same model, options, fingerprint,
+	// and required properties) optimize exactly once: the duplicates
+	// share the unique job's result with Stats.Coalesced set.
+	Tree *ExprTree
 	// Required is the physical property vector the final plan must
 	// deliver; nil means no requirement.
 	Required PhysProps
@@ -37,7 +45,9 @@ type ParallelResult struct {
 	// Err is the optimizer error (e.g. a typed budget error matching
 	// ErrBudget), if any.
 	Err error
-	// Stats are the job's search-effort counters.
+	// Stats are the job's search-effort counters. For a deduplicated
+	// job they are the unique optimization's counters with Coalesced
+	// set.
 	Stats Stats
 }
 
@@ -60,16 +70,25 @@ func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
 // (every unfinished job degrades to its anytime result), while each
 // job's own Options.Budget bounds that job alone — armed per job, so one
 // pathological query exhausts only its own budget, not the batch's.
+//
+// Before any worker starts, tree-form jobs (ParallelJob.Tree) are
+// deduplicated by canonical fingerprint: a batch of N identical queries
+// runs one search, and the other N-1 results are shared copies with
+// Stats.Coalesced set. The worker pool is sized to the number of unique
+// jobs, never larger.
 func ParallelOptimizeCtx(ctx context.Context, jobs []ParallelJob, workers int) []ParallelResult {
 	results := make([]ParallelResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
+
+	unique, primary := coalesceJobs(jobs)
+
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(unique) {
+		workers = len(unique)
 	}
 
 	var next atomic.Int64
@@ -80,21 +99,77 @@ func ParallelOptimizeCtx(ctx context.Context, jobs []ParallelJob, workers int) [
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
+				if i >= len(unique) {
 					return
 				}
-				results[i] = runJob(ctx, &jobs[i])
+				j := unique[i]
+				results[j] = runJob(ctx, &jobs[j])
 			}
 		}()
 	}
 	wg.Wait()
+
+	for i, p := range primary {
+		if p != i {
+			r := results[p]
+			r.Stats.Coalesced = true
+			results[i] = r
+		}
+	}
 	return results
+}
+
+// coalesceJobs groups duplicate tree-form jobs. It returns the indexes
+// of the unique jobs to run and, for every job, the index of the job
+// whose result it receives (itself when unique). Two jobs coalesce only
+// when they share the model, the options value (by pointer, nil
+// included), the required-property fingerprint, and — verified
+// byte-for-byte against the canonical rendering, so fingerprint
+// collisions cannot merge distinct queries — the canonical query tree.
+func coalesceJobs(jobs []ParallelJob) (unique []int, primary []int) {
+	type dupKey struct {
+		model Model
+		opts  *Options
+		fp    Fingerprint
+	}
+	primary = make([]int, len(jobs))
+	unique = make([]int, 0, len(jobs))
+	var first map[dupKey]int
+	var canons map[dupKey]string
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Build != nil || j.Tree == nil {
+			primary[i] = i
+			unique = append(unique, i)
+			continue
+		}
+		fp, canon := FingerprintQuery(j.Model, j.Tree, j.Required)
+		if first == nil {
+			first = make(map[dupKey]int, len(jobs))
+			canons = make(map[dupKey]string, len(jobs))
+		}
+		k := dupKey{model: j.Model, opts: j.Options, fp: fp}
+		if p, ok := first[k]; ok && canons[k] == canon {
+			primary[i] = p
+			continue
+		}
+		first[k] = i
+		canons[k] = canon
+		primary[i] = i
+		unique = append(unique, i)
+	}
+	return unique, primary
 }
 
 // runJob executes one job on a fresh optimizer.
 func runJob(ctx context.Context, job *ParallelJob) ParallelResult {
 	o := NewOptimizer(job.Model, job.Options)
-	root := job.Build(o)
+	var root GroupID
+	if job.Build != nil {
+		root = job.Build(o)
+	} else {
+		root = o.InsertQuery(job.Tree)
+	}
 	plan, err := o.OptimizeCtx(ctx, root, job.Required)
 	return ParallelResult{Plan: plan, Err: err, Stats: *o.Stats()}
 }

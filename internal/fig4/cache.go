@@ -1,0 +1,167 @@
+package fig4
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/plancache"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// CacheConfig parameterizes the plan-cache serving experiment.
+type CacheConfig struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// QueriesPerLevel is the number of random queries per complexity
+	// level; default 20.
+	QueriesPerLevel int
+	// MinRelations and MaxRelations bound the query sizes; defaults 2
+	// and 8.
+	MinRelations, MaxRelations int
+	// Shape is the join-graph topology of generated queries.
+	Shape datagen.Shape
+	// WarmIterations is the number of timed cache hits per query;
+	// default 100.
+	WarmIterations int
+	// CacheBytes is the cache budget; 0 uses the cache default.
+	CacheBytes int64
+}
+
+// cacheDefaults fills unset fields.
+func (c CacheConfig) cacheDefaults() CacheConfig {
+	if c.QueriesPerLevel == 0 {
+		c.QueriesPerLevel = 20
+	}
+	if c.MinRelations == 0 {
+		c.MinRelations = 2
+	}
+	if c.MaxRelations == 0 {
+		c.MaxRelations = 8
+	}
+	if c.WarmIterations == 0 {
+		c.WarmIterations = 100
+	}
+	return c
+}
+
+// CachePoint is one complexity level of the serving experiment.
+type CachePoint struct {
+	// Relations is the number of input relations.
+	Relations int `json:"relations"`
+	// Queries is the number of queries measured.
+	Queries int `json:"queries"`
+	// ColdMS is the mean optimization latency without the cache.
+	ColdMS float64 `json:"cold_ms"`
+	// WarmMS is the mean verified-hit latency (fingerprint plus lookup).
+	WarmMS float64 `json:"warm_ms"`
+	// Speedup is ColdMS / WarmMS.
+	Speedup float64 `json:"speedup"`
+	// Mismatches counts queries whose cache-served cost differed from a
+	// fresh optimization's — always zero unless the cache is broken.
+	Mismatches int `json:"mismatches"`
+}
+
+// CacheResult is the full outcome of the serving experiment.
+type CacheResult struct {
+	// Points holds one entry per complexity level.
+	Points []CachePoint `json:"points"`
+	// Counters snapshots the cache at the end of the run.
+	Counters plancache.Counters `json:"counters"`
+	// Mismatches is the total cost-mismatch count across all levels.
+	Mismatches int `json:"mismatches"`
+}
+
+// RunCache measures the plan-cache serving layer: for each generated
+// query it times a cold optimization, inserts the result through the
+// cache, and times repeated verified hits, asserting that the served
+// cost equals the fresh cost. Cold latency is the directed-DP search;
+// warm latency is fingerprint plus sharded-LRU lookup.
+func RunCache(cfg CacheConfig) *CacheResult {
+	cfg = cfg.cacheDefaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+	model := relopt.New(cat, relopt.DefaultConfig())
+	cache := plancache.New(plancache.Options{MaxBytes: cfg.CacheBytes})
+
+	res := &CacheResult{}
+	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
+		pt := CachePoint{Relations: n, Queries: cfg.QueriesPerLevel}
+		var coldSum, warmSum float64
+		for q := 0; q < cfg.QueriesPerLevel; q++ {
+			query := src.SelectJoinQuery(cat, n, cfg.Shape)
+			var required core.PhysProps
+			if query.OrderBy != rel.InvalidCol {
+				required = relopt.SortedOn(query.OrderBy)
+			}
+
+			coldMS, coldCost, _, err := MeasureVolcano(cat, query, nil)
+			if err != nil {
+				panic(fmt.Sprintf("fig4: cache cold run failed on %d relations: %v", n, err))
+			}
+			coldSum += coldMS
+
+			fp, canon := core.FingerprintQuery(model, query.Root, required)
+			entry, _, err := cache.Do(fp, canon, func() (*plancache.Entry, error) {
+				opt := core.NewOptimizer(model, nil)
+				root := opt.InsertQuery(query.Root)
+				plan, err := opt.Optimize(root, required)
+				if err != nil {
+					return nil, err
+				}
+				return &plancache.Entry{Plan: plan, Cost: plan.Cost, Stats: *opt.Stats()}, nil
+			})
+			if err != nil {
+				panic(fmt.Sprintf("fig4: cache insert failed on %d relations: %v", n, err))
+			}
+			if entry.Cost.(relopt.Cost).Total() != coldCost {
+				pt.Mismatches++
+			}
+
+			noCompute := func() (*plancache.Entry, error) {
+				return nil, fmt.Errorf("fig4: warm lookup missed the cache")
+			}
+			start := time.Now()
+			for i := 0; i < cfg.WarmIterations; i++ {
+				wfp, wcanon := core.FingerprintQuery(model, query.Root, required)
+				e, outcome, err := cache.Do(wfp, wcanon, noCompute)
+				if err != nil || outcome != plancache.OutcomeHit {
+					panic(fmt.Sprintf("fig4: warm lookup not a hit on %d relations: %v %v", n, outcome, err))
+				}
+				if e.Cost.(relopt.Cost).Total() != coldCost {
+					pt.Mismatches++
+				}
+			}
+			warmSum += float64(time.Since(start).Nanoseconds()) / 1e6 / float64(cfg.WarmIterations)
+		}
+		f := float64(cfg.QueriesPerLevel)
+		pt.ColdMS = coldSum / f
+		pt.WarmMS = warmSum / f
+		if pt.WarmMS > 0 {
+			pt.Speedup = pt.ColdMS / pt.WarmMS
+		}
+		res.Mismatches += pt.Mismatches
+		res.Points = append(res.Points, pt)
+	}
+	res.Counters = cache.Counters()
+	return res
+}
+
+// FormatCache renders the serving-experiment results.
+func FormatCache(res *CacheResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan-cache serving: cold optimization vs verified cache hit\n")
+	fmt.Fprintf(&b, "%-5s %10s %10s %10s %10s\n",
+		"rels", "cold-ms", "warm-ms", "speedup", "mismatch")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%-5d %10.3f %10.5f %9.0fx %10d\n",
+			p.Relations, p.ColdMS, p.WarmMS, p.Speedup, p.Mismatches)
+	}
+	c := res.Counters
+	fmt.Fprintf(&b, "cache: %d hits, %d misses, %d coalesced, %d evictions, %d entries, %d bytes\n",
+		c.CacheHits, c.CacheMisses, c.Coalesced, c.Evictions, c.Entries, c.CacheBytes)
+	return b.String()
+}

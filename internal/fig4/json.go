@@ -15,6 +15,8 @@ type BenchReport struct {
 	Points []BenchPoint `json:"points"`
 	// Parallel holds the worker-pool throughput sweep, when run.
 	Parallel *Sweep `json:"parallel,omitempty"`
+	// Cache holds the plan-cache serving measurements, when run.
+	Cache *CacheResult `json:"cache,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.
@@ -87,6 +89,18 @@ func NewBenchReport(cfg Config, points []Point, sweep *Sweep) BenchReport {
 		})
 	}
 	return rep
+}
+
+// ReadBenchJSON loads a previously written report, so a run of one
+// experiment can preserve the sections of experiments it did not rerun.
+func ReadBenchJSON(path string) (BenchReport, error) {
+	var rep BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(data, &rep)
+	return rep, err
 }
 
 // WriteBenchJSON writes the report to path, indented for diffing.

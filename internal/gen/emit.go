@@ -279,6 +279,25 @@ func (e *emitter) emit() string {
 	e.p("// InfiniteCost delegates to the support code.")
 	e.p("func (m *Model) InfiniteCost() core.Cost { return m.s.InfiniteCost() }")
 	e.p("")
+	// The spec hash covers everything emitted so far — operator kinds,
+	// rule wiring, and support signatures — so any regeneration that
+	// changes the optimizer's behavior also changes the version token.
+	specHash := fnv1a(e.b.String())
+	e.p("var _ core.Versioned = (*Model)(nil)")
+	e.p("")
+	e.p("// Version returns the model's version token: a fingerprint of the")
+	e.p("// generated rule set, mixed with the support code's own token when")
+	e.p("// the Support implementation also implements core.Versioned (e.g. to")
+	e.p("// reflect catalog or statistics changes). Plan caches key entries by")
+	e.p("// this token, so regenerating the optimizer orphans cached plans.")
+	e.p("func (m *Model) Version() uint64 {")
+	e.p("const specHash = 0x%016x", specHash)
+	e.p("if v, ok := m.s.(core.Versioned); ok {")
+	e.p("return specHash ^ (v.Version() * 0x9E3779B185EBCA87)")
+	e.p("}")
+	e.p("return specHash")
+	e.p("}")
+	e.p("")
 	e.p("// anyInputs builds one vacuous property requirement per input; it is")
 	e.p("// the default applicability result for algorithms whose specification")
 	e.p("// names no applicability function.")
@@ -301,6 +320,17 @@ func (e *emitter) emitDefaultOp(name, kind string) {
 	e.p("// String returns %q.", strings.ToLower(name))
 	e.p("func (*%s) String() string { return %q }", typ, strings.ToLower(name))
 	e.p("")
+}
+
+// fnv1a hashes a string with 64-bit FNV-1a, the spec-fingerprint hash
+// emitted into generated Version methods.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // exportName turns SNAKE_CASE into CamelCase.

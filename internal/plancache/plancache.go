@@ -1,0 +1,396 @@
+// Package plancache is the cross-query plan-cache serving layer: a
+// sharded, byte-bounded LRU keyed by canonical query fingerprints
+// (core.FingerprintQuery), with singleflight-style coalescing of
+// concurrent identical optimizations.
+//
+// The paper's memo amortizes work within one search; this package
+// amortizes it across queries. A compile server fielding repeats of the
+// same query shape pays the directed-DP cost once and serves every
+// later repeat from the cache — and when N identical queries arrive
+// concurrently, one optimization runs while the other N-1 wait and
+// share its result.
+//
+// Correctness rests on two invariants. First, entries are keyed by a
+// canonical 128-bit fingerprint that mixes in the model's version
+// token, so catalog or cost-model changes orphan stale entries rather
+// than serving them. Second, every hit is verified byte-for-byte
+// against the entry's retained canonical rendering, so a 128-bit hash
+// collision degrades to a miss instead of serving the wrong plan.
+// Degraded (anytime) results are never inserted: the cache only ever
+// returns plans that a fresh, uninterrupted optimization would produce.
+package plancache
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DefaultMaxBytes is the cache budget used when Options.MaxBytes is
+// unset: 64 MiB, thousands of typical plans.
+const DefaultMaxBytes = 64 << 20
+
+// Options configure a Cache.
+type Options struct {
+	// MaxBytes bounds the estimated bytes of retained entries across
+	// all shards; <= 0 means DefaultMaxBytes.
+	MaxBytes int64
+	// Shards is the lock-stripe count, rounded up to a power of two;
+	// <= 0 sizes the cache to the machine (4 × GOMAXPROCS, capped at
+	// 256). Shards are selected by the fingerprint's high bits.
+	Shards int
+}
+
+// Counters is a point-in-time snapshot of the cache's observability
+// counters.
+type Counters struct {
+	// CacheHits counts lookups served from a stored entry (canonical
+	// rendering verified).
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts lookups that found nothing (including the rare
+	// fingerprint collision whose verification failed).
+	CacheMisses int64 `json:"cache_misses"`
+	// Coalesced counts callers that shared an in-flight identical
+	// optimization instead of running their own.
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64 `json:"evictions"`
+	// CacheBytes is the current estimated footprint of stored entries.
+	CacheBytes int64 `json:"cache_bytes"`
+	// Entries is the current number of stored entries.
+	Entries int `json:"entries"`
+}
+
+// Entry is one cached optimization result: the winning plan, its cost,
+// and the search statistics of the optimization that produced it.
+// Entries are immutable once inserted; the contained plan is shared by
+// every hit and must not be mutated by consumers (plans in this
+// repository are read-only after optimization).
+type Entry struct {
+	// Plan is the winning plan (a choose-plan root for dynamic
+	// statements).
+	Plan *core.Plan
+	// Cost is the plan's total estimated cost, kept alongside the plan
+	// for consumers that compare cached against fresh costs.
+	Cost core.Cost
+	// Stats are the search-effort counters of the original search.
+	Stats core.Stats
+	// Dynamic marks a plan carrying runtime alternatives.
+	Dynamic bool
+	// NParams is the statement's parameter count (parameterized
+	// statements are cached by shape).
+	NParams int
+	// Degraded, when non-nil, is the budget error that stopped the
+	// original search. Degraded entries are never stored — Do shares
+	// them with coalesced waiters of the same in-flight call and then
+	// drops them — so a cache hit always carries a proven-optimal plan.
+	Degraded error
+}
+
+// Outcome says how a Do call was served.
+type Outcome int8
+
+const (
+	// OutcomeMiss: the caller ran the optimization (and, if the result
+	// was cacheable, inserted it).
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from a stored, verified entry.
+	OutcomeHit
+	// OutcomeCoalesced: served by waiting on a concurrent identical
+	// optimization.
+	OutcomeCoalesced
+)
+
+// String renders the outcome for logs and tools.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeCoalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// Cache is a sharded LRU plan cache with in-flight coalescing. All
+// methods are safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	flightMu sync.Mutex
+	flights  map[core.Fingerprint]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// flight is one in-progress optimization other callers may wait on.
+type flight struct {
+	done  chan struct{}
+	canon string
+	entry *Entry
+	err   error
+}
+
+// New creates a cache. The zero Options value gets the defaults.
+func New(opts Options) *Cache {
+	maxBytes := opts.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	n := opts.Shards
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n > 256 {
+			n = 256
+		}
+	}
+	n = nextPow2(n)
+	c := &Cache{
+		shards:  make([]shard, n),
+		mask:    uint64(n - 1),
+		flights: make(map[core.Fingerprint]*flight),
+	}
+	per := maxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].init(per)
+	}
+	return c
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardOf selects the stripe for a fingerprint by its high bits (the
+// low bits index each shard's map buckets, so using the opposite end
+// keeps the two hash uses independent).
+func (c *Cache) shardOf(fp core.Fingerprint) *shard {
+	return &c.shards[(fp.Hi>>32)&c.mask]
+}
+
+// Get returns the entry stored under fp whose canonical rendering
+// matches canon, refreshing its recency. The hit/miss counters are
+// updated.
+func (c *Cache) Get(fp core.Fingerprint, canon string) (*Entry, bool) {
+	e, ok := c.shardOf(fp).get(fp, canon)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return e, ok
+}
+
+// Put stores an entry under fp, evicting least-recently-used entries as
+// needed to respect the byte budget. Degraded entries and entries too
+// large for one shard's budget are not stored.
+func (c *Cache) Put(fp core.Fingerprint, canon string, e *Entry) {
+	if e == nil || e.Degraded != nil {
+		return
+	}
+	evicted := c.shardOf(fp).put(fp, canon, e)
+	c.evictions.Add(evicted)
+}
+
+// Do serves one optimization through the cache: a verified stored entry
+// if present, the shared result of a concurrent identical call if one
+// is in flight, or the result of compute, which runs at most once per
+// fingerprint at a time. A compute result without a Degraded error is
+// inserted for future hits. compute errors are returned to the caller
+// and every coalesced waiter; nothing is cached for them.
+func (c *Cache) Do(fp core.Fingerprint, canon string, compute func() (*Entry, error)) (*Entry, Outcome, error) {
+	if e, ok := c.shardOf(fp).get(fp, canon); ok {
+		c.hits.Add(1)
+		return e, OutcomeHit, nil
+	}
+
+	c.flightMu.Lock()
+	if f, ok := c.flights[fp]; ok {
+		if f.canon == canon {
+			c.flightMu.Unlock()
+			<-f.done
+			c.coalesced.Add(1)
+			return f.entry, OutcomeCoalesced, f.err
+		}
+		// A different query is in flight under the same fingerprint — a
+		// true 128-bit collision. Compute directly, without coalescing
+		// and without caching under the contested key.
+		c.flightMu.Unlock()
+		e, err := compute()
+		c.misses.Add(1)
+		return e, OutcomeMiss, err
+	}
+	f := &flight{done: make(chan struct{}), canon: canon}
+	c.flights[fp] = f
+	c.flightMu.Unlock()
+
+	e, err := compute()
+	f.entry, f.err = e, err
+	if err == nil {
+		c.Put(fp, canon, e)
+	}
+	c.flightMu.Lock()
+	delete(c.flights, fp)
+	c.flightMu.Unlock()
+	close(f.done)
+
+	c.misses.Add(1)
+	return e, OutcomeMiss, err
+}
+
+// Invalidate drops every stored entry (in-flight computations are
+// unaffected). Fingerprints already embed the model version, so version
+// bumps do not require it; it exists for explicit cache flushes.
+func (c *Cache) Invalidate() {
+	for i := range c.shards {
+		c.shards[i].clear()
+	}
+}
+
+// Counters snapshots the cache's observability counters.
+func (c *Cache) Counters() Counters {
+	ct := Counters{
+		CacheHits:   c.hits.Load(),
+		CacheMisses: c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evictions:   c.evictions.Load(),
+	}
+	for i := range c.shards {
+		b, n := c.shards[i].usage()
+		ct.CacheBytes += b
+		ct.Entries += n
+	}
+	return ct
+}
+
+// shard is one lock stripe: a map plus an intrusive LRU list under a
+// single mutex, with its slice of the byte budget.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[core.Fingerprint]*node
+	bytes    int64
+	maxBytes int64
+	// lru is the list sentinel: lru.next is most recent, lru.prev least.
+	lru node
+}
+
+// node is one resident entry in a shard's map and LRU list.
+type node struct {
+	fp         core.Fingerprint
+	canon      string
+	entry      *Entry
+	size       int64
+	prev, next *node
+}
+
+func (s *shard) init(maxBytes int64) {
+	s.entries = make(map[core.Fingerprint]*node)
+	s.maxBytes = maxBytes
+	s.lru.prev = &s.lru
+	s.lru.next = &s.lru
+}
+
+// unlink removes n from the LRU list.
+func (n *node) unlink() {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}
+
+// pushFront makes n the most recently used entry.
+func (s *shard) pushFront(n *node) {
+	n.next = s.lru.next
+	n.prev = &s.lru
+	n.next.prev = n
+	s.lru.next = n
+}
+
+func (s *shard) get(fp core.Fingerprint, canon string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.entries[fp]
+	if !ok || n.canon != canon {
+		// A canon mismatch is a true 128-bit collision: verification
+		// rejects the stored entry and the lookup is a miss.
+		return nil, false
+	}
+	n.unlink()
+	s.pushFront(n)
+	return n.entry, true
+}
+
+// put inserts (or replaces) the entry and returns the number of
+// evictions performed.
+func (s *shard) put(fp core.Fingerprint, canon string, e *Entry) (evicted int64) {
+	size := entrySize(canon, e)
+	if size > s.maxBytes {
+		return 0 // larger than the shard's whole budget: not cacheable
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[fp]; ok {
+		old.unlink()
+		delete(s.entries, fp)
+		s.bytes -= old.size
+	}
+	n := &node{fp: fp, canon: canon, entry: e, size: size}
+	s.entries[fp] = n
+	s.pushFront(n)
+	s.bytes += size
+	for s.bytes > s.maxBytes {
+		last := s.lru.prev
+		if last == &s.lru {
+			break
+		}
+		last.unlink()
+		delete(s.entries, last.fp)
+		s.bytes -= last.size
+		evicted++
+	}
+	return evicted
+}
+
+func (s *shard) clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[core.Fingerprint]*node)
+	s.bytes = 0
+	s.lru.prev = &s.lru
+	s.lru.next = &s.lru
+}
+
+func (s *shard) usage() (bytes int64, entries int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes, len(s.entries)
+}
+
+// entrySize estimates an entry's resident footprint for the byte
+// budget: the retained canonical rendering, a per-plan-node charge
+// covering the Plan struct, its input slice, and the physical operator,
+// plus fixed entry/node/stats overhead. An estimate is sufficient — the
+// budget bounds growth, it is not an allocator.
+func entrySize(canon string, e *Entry) int64 {
+	const (
+		perNode  = 160
+		overhead = 384
+	)
+	nodes := 0
+	if e.Plan != nil {
+		nodes = e.Plan.Count()
+	}
+	return int64(len(canon)) + int64(nodes)*perNode + overhead
+}

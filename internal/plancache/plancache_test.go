@@ -1,0 +1,295 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// fp builds a distinct fingerprint; i is spread across the high bits so
+// consecutive values land in different shards.
+func fp(i int) core.Fingerprint {
+	return core.Fingerprint{Hi: uint64(i) << 32, Lo: uint64(i) * 31}
+}
+
+func entry() *Entry { return &Entry{} }
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(Options{})
+	f := fp(1)
+	if _, ok := c.Get(f, "q1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(f, "q1", entry())
+	if _, ok := c.Get(f, "q1"); !ok {
+		t.Fatal("stored entry not found")
+	}
+	// Same fingerprint, different canonical rendering: a collision must
+	// verify-fail and read as a miss, never serve the wrong plan.
+	if _, ok := c.Get(f, "q2"); ok {
+		t.Fatal("collision verification served a mismatched canon")
+	}
+	ct := c.Counters()
+	if ct.CacheHits != 1 || ct.CacheMisses != 2 || ct.Entries != 1 {
+		t.Fatalf("counters = %+v, want 1 hit, 2 misses, 1 entry", ct)
+	}
+	if ct.CacheBytes <= 0 {
+		t.Fatalf("CacheBytes = %d, want > 0", ct.CacheBytes)
+	}
+}
+
+func TestCacheNilAndDegradedNotStored(t *testing.T) {
+	c := New(Options{})
+	c.Put(fp(1), "q", nil)
+	c.Put(fp(2), "q", &Entry{Degraded: errors.New("budget exhausted")})
+	if ct := c.Counters(); ct.Entries != 0 {
+		t.Fatalf("Entries = %d, want 0", ct.Entries)
+	}
+}
+
+func TestCacheByteBudgetEviction(t *testing.T) {
+	// One shard so the LRU order is global; budget for roughly two
+	// plan-less entries (each ~len(canon)+384 bytes).
+	c := New(Options{MaxBytes: 800, Shards: 1})
+	c.Put(fp(1), "a", entry())
+	c.Put(fp(2), "b", entry())
+	c.Get(fp(1), "a") // refresh: fp1 is now most recent
+	c.Put(fp(3), "c", entry())
+
+	if _, ok := c.Get(fp(1), "a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(fp(2), "b"); ok {
+		t.Fatal("least recently used entry survived over budget")
+	}
+	ct := c.Counters()
+	if ct.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", ct.Evictions)
+	}
+	if ct.CacheBytes > 800 {
+		t.Fatalf("CacheBytes = %d exceeds the budget", ct.CacheBytes)
+	}
+}
+
+func TestCacheOversizeEntryNotStored(t *testing.T) {
+	c := New(Options{MaxBytes: 10, Shards: 1})
+	c.Put(fp(1), "q", entry())
+	if ct := c.Counters(); ct.Entries != 0 {
+		t.Fatalf("entry larger than the shard budget was stored: %+v", ct)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := New(Options{})
+	for i := 0; i < 10; i++ {
+		c.Put(fp(i), fmt.Sprintf("q%d", i), entry())
+	}
+	c.Invalidate()
+	ct := c.Counters()
+	if ct.Entries != 0 || ct.CacheBytes != 0 {
+		t.Fatalf("Invalidate left %d entries, %d bytes", ct.Entries, ct.CacheBytes)
+	}
+}
+
+func TestCacheDoMissThenHit(t *testing.T) {
+	c := New(Options{})
+	computes := 0
+	compute := func() (*Entry, error) { computes++; return entry(), nil }
+
+	_, outcome, err := c.Do(fp(1), "q", compute)
+	if err != nil || outcome != OutcomeMiss {
+		t.Fatalf("first Do = %v, %v; want miss", outcome, err)
+	}
+	_, outcome, err = c.Do(fp(1), "q", compute)
+	if err != nil || outcome != OutcomeHit {
+		t.Fatalf("second Do = %v, %v; want hit", outcome, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+}
+
+func TestCacheDoError(t *testing.T) {
+	c := New(Options{})
+	boom := errors.New("boom")
+	_, outcome, err := c.Do(fp(1), "q", func() (*Entry, error) { return nil, boom })
+	if !errors.Is(err, boom) || outcome != OutcomeMiss {
+		t.Fatalf("Do = %v, %v; want the compute error as a miss", outcome, err)
+	}
+	if ct := c.Counters(); ct.Entries != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	// The flight must be cleaned up: a retry runs compute again.
+	_, _, err = c.Do(fp(1), "q", func() (*Entry, error) { return entry(), nil })
+	if err != nil {
+		t.Fatalf("retry after error: %v", err)
+	}
+}
+
+func TestCacheDoDegradedSharedNotStored(t *testing.T) {
+	c := New(Options{})
+	degraded := errors.New("stopped by budget")
+	e, outcome, err := c.Do(fp(1), "q", func() (*Entry, error) {
+		return &Entry{Degraded: degraded}, nil
+	})
+	if err != nil || outcome != OutcomeMiss || e.Degraded == nil {
+		t.Fatalf("Do = %v, %v, %v", e, outcome, err)
+	}
+	// The degraded plan was returned to the caller but never inserted:
+	// the next Do re-optimizes.
+	computes := 0
+	_, outcome, _ = c.Do(fp(1), "q", func() (*Entry, error) { computes++; return entry(), nil })
+	if outcome != OutcomeMiss || computes != 1 {
+		t.Fatalf("degraded entry was served from the cache (%v, %d computes)", outcome, computes)
+	}
+}
+
+func TestCacheDoCoalescesConcurrentIdentical(t *testing.T) {
+	const waiters = 8
+	c := New(Options{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+	entered := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _ = c.Do(fp(1), "q", func() (*Entry, error) {
+			close(entered)
+			<-release
+			computes.Add(1)
+			return entry(), nil
+		})
+	}()
+	<-entered // the flight is registered; everyone below shares it
+
+	results := make([]Outcome, waiters)
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, outcome, err := c.Do(fp(1), "q", func() (*Entry, error) {
+				computes.Add(1)
+				return entry(), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = outcome
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, outcome := range results {
+		if outcome == OutcomeMiss {
+			t.Errorf("waiter %d recomputed instead of sharing", i)
+		}
+	}
+	ct := c.Counters()
+	if ct.Coalesced+ct.CacheHits < waiters {
+		t.Fatalf("counters = %+v, want %d served without compute", ct, waiters)
+	}
+}
+
+func TestCacheDoInFlightCollision(t *testing.T) {
+	c := New(Options{Shards: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	go func() {
+		_, _, _ = c.Do(fp(1), "canonA", func() (*Entry, error) {
+			close(entered)
+			<-release
+			return entry(), nil
+		})
+	}()
+	<-entered
+
+	// Same fingerprint, different query: must not wait on (or share) the
+	// stranger's flight.
+	done := make(chan Outcome, 1)
+	go func() {
+		_, outcome, _ := c.Do(fp(1), "canonB", func() (*Entry, error) { return entry(), nil })
+		done <- outcome
+	}()
+	select {
+	case outcome := <-done:
+		if outcome != OutcomeMiss {
+			t.Fatalf("collision Do = %v, want an independent miss", outcome)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("collision Do blocked on the other query's flight")
+	}
+	close(release)
+}
+
+func TestOutcomeString(t *testing.T) {
+	for outcome, want := range map[Outcome]string{
+		OutcomeMiss: "miss", OutcomeHit: "hit", OutcomeCoalesced: "coalesced",
+	} {
+		if got := outcome.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", outcome, got, want)
+		}
+	}
+}
+
+func TestCacheConcurrentMixedUse(t *testing.T) {
+	c := New(Options{MaxBytes: 1 << 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % 32
+				canon := fmt.Sprintf("q%d", k)
+				switch i % 3 {
+				case 0:
+					_, _, _ = c.Do(fp(k), canon, func() (*Entry, error) { return entry(), nil })
+				case 1:
+					c.Get(fp(k), canon)
+				default:
+					c.Put(fp(k), canon, entry())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.Counters() // must not race with the workers above
+}
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := New(Options{})
+	f := fp(1)
+	c.Put(f, "q", entry())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(f, "q"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCacheDoHitParallel(b *testing.B) {
+	c := New(Options{})
+	f := fp(1)
+	c.Put(f, "q", entry())
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, outcome, _ := c.Do(f, "q", func() (*Entry, error) { return entry(), nil })
+			if outcome != OutcomeHit {
+				b.Fatal("not a hit")
+			}
+		}
+	})
+}

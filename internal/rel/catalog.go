@@ -62,7 +62,21 @@ type Catalog struct {
 	// predicates (runtime-bound constants); zero means the System R
 	// default of 1/3. Dynamic-plan generation sweeps this assumption.
 	ParamSelectivity float64
+
+	// version counts schema and statistics changes. Plan caches mix it
+	// into query fingerprints, so every registration (and every explicit
+	// BumpVersion) orphans plans optimized against the old catalog.
+	version uint64
 }
+
+// Version returns the catalog's current version token; it changes on
+// every AddTable/AddColumn and every BumpVersion call.
+func (c *Catalog) Version() uint64 { return c.version }
+
+// BumpVersion advances the version token. Call it after mutating
+// statistics in place (reloading data, refreshing row counts) so that
+// cached plans optimized under the old statistics stop being served.
+func (c *Catalog) BumpVersion() { c.version++ }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog {
@@ -78,6 +92,7 @@ func (c *Catalog) AddTable(name string, rows int64, rowBytes int) *Table {
 	t := &Table{Name: name, Index: len(c.names), Rows: rows, RowBytes: rowBytes}
 	c.tables[name] = t
 	c.names = append(c.names, name)
+	c.version++
 	return t
 }
 
@@ -91,6 +106,7 @@ func (c *Catalog) AddColumn(t *Table, name string, distinct, min, max int64) Col
 	})
 	id := ColID(len(c.columns))
 	t.Columns = append(t.Columns, id)
+	c.version++
 	return id
 }
 

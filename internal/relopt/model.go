@@ -1,6 +1,9 @@
 package relopt
 
 import (
+	"math"
+	"math/bits"
+
 	"repro/internal/core"
 	"repro/internal/rel"
 )
@@ -144,3 +147,58 @@ func (m *Model) ZeroCost() core.Cost { return Cost{} }
 
 // InfiniteCost returns the unreachable cost.
 func (m *Model) InfiniteCost() core.Cost { return Infinite }
+
+var (
+	_ core.Commuter  = (*Model)(nil)
+	_ core.Versioned = (*Model)(nil)
+)
+
+// CommutativeInputs declares the operators whose inputs the rule set
+// proves order-insensitive: JOIN (join-commute), INTERSECT, and UNION
+// (set-commute, unless NoSetReorder freezes the written order). Query
+// fingerprints treat permuted inputs of these operators as the same
+// query, exactly as the memo collapses their derivations.
+func (m *Model) CommutativeInputs(op core.LogicalOp) bool {
+	switch op.Kind() {
+	case rel.KindJoin:
+		return true
+	case rel.KindIntersect, rel.KindUnion:
+		return !m.Cfg.NoSetReorder
+	}
+	return false
+}
+
+// Version returns the model's version token: the catalog version mixed
+// with a fingerprint of the configuration (algorithm set and cost
+// weights). Any change that could alter a plan or its cost — schema or
+// statistics registration, a catalog BumpVersion, different Config —
+// yields a different token, which orphans stale plan-cache entries.
+func (m *Model) Version() uint64 {
+	h := mix64(0x9E3779B185EBCA87, m.Cat.Version())
+	p := m.Cfg.Params
+	for _, f := range []float64{
+		float64(p.PageBytes), p.CPUTuple, p.CPUPred, p.CPUCompare,
+		p.CPUHash, p.SpillIO, p.MemoryPages,
+	} {
+		h = mix64(h, math.Float64bits(f))
+	}
+	flags := uint64(0)
+	for i, b := range []bool{
+		m.Cfg.EnableNLJoin, m.Cfg.NoCompositeInner, m.Cfg.Parallel,
+		m.Cfg.DisableFusedProject, m.Cfg.SingleIntersectOrder, m.Cfg.NoSetReorder,
+	} {
+		if b {
+			flags |= 1 << uint(i)
+		}
+	}
+	h = mix64(h, flags)
+	return mix64(h, uint64(m.Cfg.Degree))
+}
+
+// mix64 folds v into h with a rotate-multiply step strong enough for a
+// version token (not a general-purpose hash).
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h = bits.RotateLeft64(h, 31)
+	return h * 0xff51afd7ed558ccd
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/plancache"
 	"repro/internal/rel"
 	"repro/internal/relopt"
 	"repro/internal/sqlish"
@@ -40,6 +41,14 @@ type Options struct {
 	// queries produce dynamic plans over these selectivity
 	// assumptions; nil uses the built-in buckets.
 	DynamicBuckets []float64
+	// CacheBytes enables the cross-query plan cache, bounded to this
+	// many bytes; 0 disables caching. Cached plans are keyed by
+	// canonical query fingerprint (commuted-join spellings of the same
+	// query share an entry), verified byte-for-byte on hit, and
+	// invalidated by catalog version bumps; concurrent identical
+	// queries coalesce into one optimization. Parameterized statements
+	// are cached by shape. Budget-degraded plans are never cached.
+	CacheBytes int64
 }
 
 // DB is one database instance: schema, statistics, data, and the
@@ -48,6 +57,11 @@ type DB struct {
 	cat  *rel.Catalog
 	data *exec.DB
 	opts Options
+	// model is the read-only optimizer model used for fingerprinting;
+	// nil when the plan cache is disabled.
+	model *relopt.Model
+	// cache is the cross-query plan cache; nil when disabled.
+	cache *plancache.Cache
 }
 
 // Open assembles a database from a catalog and table contents (rows
@@ -60,11 +74,19 @@ func Open(cat *rel.Catalog, data map[string][][]int64, opts *Options) *DB {
 	if db.opts.Guided && db.opts.Search.Guidance.SeedPlanner == nil {
 		db.opts.Search.Guidance.SeedPlanner = relopt.New(cat, db.opts.Config).SeedPlanner()
 	}
+	if db.opts.CacheBytes > 0 {
+		db.model = relopt.New(cat, db.opts.Config)
+		db.cache = plancache.New(plancache.Options{MaxBytes: db.opts.CacheBytes})
+	}
 	return db
 }
 
 // Catalog exposes the schema and statistics.
 func (db *DB) Catalog() *rel.Catalog { return db.cat }
+
+// PlanCache exposes the plan cache for observability (counters,
+// explicit invalidation); nil when Options.CacheBytes is 0.
+func (db *DB) PlanCache() *plancache.Cache { return db.cache }
 
 // Result is an executed query.
 type Result struct {
@@ -109,6 +131,47 @@ func (db *DB) optimize(ctx context.Context, tree *core.ExprTree, required core.P
 	return plan, stats, nil, nil
 }
 
+// serve optimizes a parsed statement through the plan cache when one is
+// configured: a verified cached entry if present, a shared in-flight
+// result if an identical statement is being optimized concurrently, or
+// a fresh optimization otherwise. Fresh results are inserted unless the
+// search was budget-degraded. Without a cache it simply optimizes.
+func (db *DB) serve(ctx context.Context, st *sqlish.Statement, nparams int) (*plancache.Entry, plancache.Outcome, error) {
+	compute := func() (*plancache.Entry, error) {
+		if nparams == 1 {
+			res, err := relopt.OptimizeDynamic(db.cat, db.opts.Config, st.Tree, st.Required, db.opts.DynamicBuckets)
+			if err != nil {
+				return nil, err
+			}
+			return &plancache.Entry{Plan: res.Plan, Cost: res.Plan.Cost, Dynamic: res.Alternatives > 1, NParams: 1}, nil
+		}
+		plan, stats, degraded, err := db.optimize(ctx, st.Tree, st.Required)
+		if err != nil {
+			return nil, err
+		}
+		return &plancache.Entry{Plan: plan, Cost: plan.Cost, Stats: stats, Degraded: degraded}, nil
+	}
+	if db.cache == nil {
+		e, err := compute()
+		return e, plancache.OutcomeMiss, err
+	}
+	fp, canon := core.FingerprintQuery(db.model, st.Tree, st.Required)
+	return db.cache.Do(fp, canon, compute)
+}
+
+// serveStats returns the entry's search stats annotated with how the
+// entry was served.
+func serveStats(e *plancache.Entry, outcome plancache.Outcome) core.Stats {
+	stats := e.Stats
+	switch outcome {
+	case plancache.OutcomeHit:
+		stats.CacheHit = true
+	case plancache.OutcomeCoalesced:
+		stats.Coalesced = true
+	}
+	return stats
+}
+
 // Stmt is a prepared statement: parsed, optimized (statically or
 // dynamically), and executable many times with different parameters.
 type Stmt struct {
@@ -119,6 +182,8 @@ type Stmt struct {
 	// degraded records the budget error of a degraded optimization; the
 	// statement still executes the best plan found.
 	degraded error
+	// cached records that the plan was served from the plan cache.
+	cached bool
 }
 
 // Prepare parses and optimizes a statement; see PrepareCtx.
@@ -141,23 +206,29 @@ func (db *DB) PrepareCtx(ctx context.Context, sql string) (*Stmt, error) {
 	if nparams > 1 {
 		return nil, fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
 	}
-	if nparams == 1 {
-		res, err := relopt.OptimizeDynamic(db.cat, db.opts.Config, st.Tree, st.Required, db.opts.DynamicBuckets)
-		if err != nil {
-			return nil, err
-		}
-		return &Stmt{db: db, plan: res.Plan, dynamic: res.Alternatives > 1, nparams: 1}, nil
-	}
-	plan, _, degraded, err := db.optimize(ctx, st.Tree, st.Required)
+	entry, outcome, err := db.serve(ctx, st, nparams)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, plan: plan, degraded: degraded}, nil
+	return &Stmt{
+		db:       db,
+		plan:     entry.Plan,
+		dynamic:  entry.Dynamic,
+		nparams:  entry.NParams,
+		degraded: entry.Degraded,
+		cached:   outcome == plancache.OutcomeHit,
+	}, nil
 }
 
 // Degraded reports the budget error that stopped the statement's
-// optimization, or nil when the plan is proven optimal.
+// optimization, or nil when the plan is proven optimal. Degraded plans
+// are never inserted into the plan cache, so Cached and Degraded are
+// mutually exclusive.
 func (s *Stmt) Degraded() error { return s.degraded }
+
+// Cached reports whether the statement's plan was served from the plan
+// cache rather than optimized by this Prepare call.
+func (s *Stmt) Cached() bool { return s.cached }
 
 // Exec runs the prepared statement with the given parameter values.
 func (s *Stmt) Exec(params ...int64) (*Result, error) {
@@ -197,20 +268,20 @@ func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	if countParams(st.Tree) != 0 {
 		return nil, fmt.Errorf("vdb: parameterized query requires Prepare/Exec or QueryParams")
 	}
-	plan, stats, degraded, err := db.optimize(ctx, st.Tree, st.Required)
+	entry, outcome, err := db.serve(ctx, st, 0)
 	if err != nil {
 		return nil, err
 	}
-	rows, schema, err := exec.Run(db.data, plan)
+	rows, schema, err := exec.Run(db.data, entry.Plan)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Rows:     rows,
 		Columns:  columnNames(db.cat, schema),
-		Plan:     plan,
-		Stats:    stats,
-		Degraded: degraded,
+		Plan:     entry.Plan,
+		Stats:    serveStats(entry, outcome),
+		Degraded: entry.Degraded,
 	}, nil
 }
 
@@ -232,20 +303,30 @@ func (db *DB) Explain(sql string) (string, error) {
 
 // ExplainCtx parses and optimizes without executing, returning the plan
 // rendering. A budget-stopped optimization renders the degraded plan
-// with a leading note naming the exhausted bound.
+// with a leading note naming the exhausted bound; a cache-served plan
+// carries a "-- cached" note. Parameterized statements explain the same
+// dynamic plan Prepare would build.
 func (db *DB) ExplainCtx(ctx context.Context, sql string) (string, error) {
 	st, err := sqlish.Parse(db.cat, sql)
 	if err != nil {
 		return "", err
 	}
-	plan, _, degraded, err := db.optimize(ctx, st.Tree, st.Required)
+	nparams := countParams(st.Tree)
+	if nparams > 1 {
+		return "", fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
+	}
+	entry, outcome, err := db.serve(ctx, st, nparams)
 	if err != nil {
 		return "", err
 	}
-	if degraded != nil {
-		return fmt.Sprintf("-- degraded: %v\n%s", degraded, plan.Format()), nil
+	text := entry.Plan.Format()
+	if entry.Degraded != nil {
+		return fmt.Sprintf("-- degraded: %v\n%s", entry.Degraded, text), nil
 	}
-	return plan.Format(), nil
+	if outcome == plancache.OutcomeHit {
+		return "-- cached\n" + text, nil
+	}
+	return text, nil
 }
 
 // countParams counts distinct parameter indexes in selection predicates.

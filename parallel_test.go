@@ -66,6 +66,63 @@ func TestParallelOptimizeMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelOptimizeCoalescesDuplicates: a batch of 50 tree-form jobs
+// over 5 unique query shapes optimizes each shape exactly once; the
+// other 45 results are shared copies marked Stats.Coalesced, with costs
+// identical to their primaries. Run under -race this also proves the
+// dedup pass and result fan-out are thread-safe.
+func TestParallelOptimizeCoalescesDuplicates(t *testing.T) {
+	src := datagen.New(53)
+	cat := src.Catalog(5)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	const shapes = 5
+	const copies = 10
+	queries := make([]datagen.Query, shapes)
+	for s := range queries {
+		queries[s] = src.SelectJoinQuery(cat, 2+s%4, datagen.ShapeRandom)
+	}
+
+	jobs := make([]core.ParallelJob, 0, shapes*copies)
+	for c := 0; c < copies; c++ {
+		for s := 0; s < shapes; s++ {
+			jobs = append(jobs, core.ParallelJob{
+				Model:    model,
+				Tree:     queries[s].Root,
+				Required: relopt.SortedOn(queries[s].OrderBy),
+			})
+		}
+	}
+
+	results := core.ParallelOptimize(jobs, 8)
+	if len(results) != shapes*copies {
+		t.Fatalf("%d results for %d jobs", len(results), shapes*copies)
+	}
+	coalesced := 0
+	shapeCost := map[int]float64{}
+	for i, r := range results {
+		if r.Err != nil || r.Plan == nil {
+			t.Fatalf("job %d: plan=%v err=%v", i, r.Plan, r.Err)
+		}
+		if r.Stats.Coalesced {
+			coalesced++
+		}
+		s := i % shapes
+		cost := r.Plan.Cost.(relopt.Cost).Total()
+		if want, ok := shapeCost[s]; ok {
+			if cost != want {
+				t.Errorf("job %d: coalesced cost %v != shape cost %v", i, cost, want)
+			}
+		} else {
+			shapeCost[s] = cost
+		}
+	}
+	want := shapes * (copies - 1)
+	if coalesced != want {
+		t.Fatalf("coalesced %d of %d jobs, want exactly %d", coalesced, len(jobs), want)
+	}
+}
+
 // TestRelOptIncrementalMatchesFromScratch: on the relational model —
 // multi-level rules, enforcers, partitioning — incremental move
 // collection finds exactly the plans of from-scratch re-matching, with
