@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race vet staticcheck bench bench-guided bench-anytime bench-cache fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,11 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# The search engine under the race detector: the intra-query parallel
+# A/B determinism suites live in core and the generated-model packages.
+test-race-core:
+	$(GO) test -race ./internal/core/... ./internal/gen/... ./internal/relopt/
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +53,20 @@ bench-anytime:
 bench-cache:
 	$(GO) run ./cmd/volcano-bench -experiment fig4cache -json ""
 	$(GO) test -run NONE -bench 'BenchmarkCache' -benchmem ./internal/plancache/
+
+# Intra-query parallel search A/B: the hardest Figure-4 queries,
+# sequential vs Workers in {2,4,8}. volcano-bench exits non-zero if any
+# parallel plan cost diverges from the sequential optimum.
+bench-spar:
+	$(GO) run ./cmd/volcano-bench -experiment fig4spar -json ""
+
+# CPU and heap profiles of the Figure-4 hot path (serial fig4 by
+# default; override EXPERIMENT=fig4spar etc. to profile another).
+EXPERIMENT ?= fig4
+profile:
+	$(GO) run ./cmd/volcano-bench -experiment $(EXPERIMENT) -json "" \
+		-cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "wrote cpu.pprof and mem.pprof; inspect with: $(GO) tool pprof cpu.pprof"
 
 # Short fingerprint-soundness fuzz over the checked-in seed corpus.
 fuzz-fingerprint:

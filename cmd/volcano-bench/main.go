@@ -4,6 +4,7 @@
 //	volcano-bench -experiment fig4       # Figure 4: Volcano vs EXODUS
 //	volcano-bench -experiment fig4guided # guided B&B vs exhaustive A/B
 //	volcano-bench -experiment fig4par    # worker-pool throughput sweep
+//	volcano-bench -experiment fig4spar   # intra-query parallel search A/B
 //	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
@@ -21,6 +22,12 @@
 // select-join queries per complexity level, 2-8 input relations, tables
 // of 1,200-7,200 records of 100 bytes).
 //
+// The fig4spar experiment A/B-tests intra-query parallel search
+// (Options.Search.Workers) against the sequential engine on the hardest
+// queries and exits non-zero if any parallel plan cost diverges from the
+// sequential optimum. -cpuprofile and -memprofile write pprof profiles
+// of whatever experiment runs.
+//
 // The fig4 experiment additionally writes a machine-readable report
 // (default BENCH_fig4.json; -json "" disables) so per-level optimization
 // time, plan cost, memo size, and search-effort counters can be tracked
@@ -31,6 +38,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -39,7 +48,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4cache | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -51,8 +60,39 @@ func main() {
 	cacheBytes := flag.Int64("cache-size", 0, "fig4cache plan-cache budget in bytes (0 = cache default)")
 	optTimeout := flag.Duration("timeout", 0, "anytime per-query wall-clock budget (0 = sweep defaults)")
 	optSteps := flag.Int("max-steps", 0, "anytime per-query step budget in moves pursued (0 = sweep defaults)")
+	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers for fig4spar (0 = sweep 2,4,8)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-bench: creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-bench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "volcano-bench: creating %s: %v\n", *memProfile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "volcano-bench: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	var sh datagen.Shape
 	switch *shape {
@@ -81,6 +121,7 @@ func main() {
 	var fig4Points []fig4.Point
 	var fig4Sweep *fig4.Sweep
 	var fig4Cache *fig4.CacheResult
+	var fig4Spar *fig4.SparResult
 
 	run := func(name string) {
 		switch name {
@@ -93,6 +134,18 @@ func main() {
 			sweep := fig4.RunVolcanoSweep(cfg, *workers)
 			fig4Sweep = &sweep
 			fmt.Print(fig4.FormatSweep(sweep))
+		case "fig4spar":
+			var counts []int
+			if *searchWorkers > 0 {
+				counts = []int{*searchWorkers}
+			}
+			spar := fig4.RunSpar(cfg, counts)
+			fig4Spar = &spar
+			fmt.Print(fig4.FormatSpar(spar))
+			if spar.CostMismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d parallel-search plans diverged from sequential costs\n", spar.CostMismatches)
+				os.Exit(1)
+			}
 		case "fig4cache":
 			fig4Cache = fig4.RunCache(fig4.CacheConfig{
 				Seed:            *seed,
@@ -153,26 +206,37 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4cache", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
 		rep.Cache = fig4Cache
-		// Keep the sections of experiments this invocation did not rerun.
+		rep.Spar = fig4Spar
+		// Keep the sections of experiments this invocation did not rerun,
+		// and merge rerun levels into the existing per-level curve.
 		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
 			if fig4Points == nil && old.Points != nil {
 				rep.Points, rep.Config = old.Points, old.Config
+			} else if fig4Points != nil && old.Points != nil {
+				rep.Points = fig4.MergeBenchPoints(old.Points, rep.Points)
+				if n := len(rep.Points); n > 0 {
+					rep.Config.MinRelations = rep.Points[0].Relations
+					rep.Config.MaxRelations = rep.Points[n-1].Relations
+				}
 			}
 			if fig4Sweep == nil {
 				rep.Parallel = old.Parallel
 			}
 			if fig4Cache == nil {
 				rep.Cache = old.Cache
+			}
+			if fig4Spar == nil {
+				rep.Spar = old.Spar
 			}
 		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {

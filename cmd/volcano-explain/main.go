@@ -44,6 +44,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "optimization wall-clock budget (0 = unbounded); on exhaustion the best plan found is printed")
 	maxSteps := flag.Int("max-steps", 0, "optimization step budget in moves pursued (0 = unbounded)")
 	cacheSize := flag.Int64("cache-size", 0, "plan-cache budget in bytes; >0 replays the query through the plan cache and reports the verified-hit latency")
+	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -71,6 +72,7 @@ func main() {
 	}
 	opts.Budget.Timeout = *timeout
 	opts.Budget.MaxSteps = *maxSteps
+	opts.Search.Workers = *searchWorkers
 	model := relopt.New(cat, relopt.DefaultConfig())
 	if *guided {
 		opts.Guidance.SeedPlanner = model.SeedPlanner()
@@ -97,6 +99,10 @@ func main() {
 
 	fmt.Printf("optimized in %v (%d classes, %d expressions)\n\n",
 		elapsed, opt.Stats().Groups, opt.Stats().Exprs)
+	if s := opt.Stats(); s.SearchWorkers > 1 {
+		fmt.Printf("parallel search: %d workers, %d tasks run, %d parked\n\n",
+			s.SearchWorkers, s.TasksRun, s.TasksParked)
+	}
 	if degraded {
 		fmt.Printf("-- degraded: %v after %d steps; best plan found:\n", err, opt.Stats().Steps())
 	}

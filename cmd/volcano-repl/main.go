@@ -5,6 +5,7 @@
 //	\explain SELECT …  show the plan without executing
 //	\memo SELECT …     show the memo after optimizing
 //	\cache             show plan-cache counters
+//	\workers N         set intra-query search workers (1 = sequential)
 //	\seed N            regenerate the database with a new seed
 //	\quit
 //
@@ -44,17 +45,17 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query optimization wall-clock budget (0 = unbounded)")
 	maxSteps := flag.Int("max-steps", 0, "per-query optimization step budget in moves pursued (0 = unbounded)")
 	cacheSize := flag.Int64("cache-size", 64<<20, "plan-cache budget in bytes (0 disables the cache)")
+	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
 	flag.Parse()
 
 	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
-	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget, cacheBytes: *cacheSize}
+	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget,
+		cacheBytes: *cacheSize, workers: *searchWorkers, dataDir: *dataDir}
 	if *dataDir != "" {
-		db, err := vdb.OpenDir(*dataDir, r.options())
-		if err != nil {
+		if err := r.openDir(); err != nil {
 			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
 			os.Exit(1)
 		}
-		r.db, r.cat = db, db.Catalog()
 	} else {
 		r.reset(*seed)
 	}
@@ -82,18 +83,41 @@ type repl struct {
 	trace      bool
 	budget     core.Budget
 	cacheBytes int64
+	workers    int
+	dataDir    string
 }
 
 // options assembles the database options from the repl's flags.
 func (r *repl) options() *vdb.Options {
 	opts := &vdb.Options{Guided: r.guided, CacheBytes: r.cacheBytes}
 	opts.Search.Budget = r.budget
+	opts.Search.Search.Workers = r.workers
 	if r.trace {
 		opts.Search.Trace.Tracer = core.ClassicTracer(func(line string) {
 			fmt.Printf("  trace: %s\n", line)
 		})
 	}
 	return opts
+}
+
+// openDir (re)opens the CSV-backed database with the current options.
+func (r *repl) openDir() error {
+	db, err := vdb.OpenDir(r.dataDir, r.options())
+	if err != nil {
+		return err
+	}
+	r.db, r.cat = db, db.Catalog()
+	return nil
+}
+
+// reopen rebuilds the database so option changes (like \workers) take
+// effect; the plan cache starts empty afterwards.
+func (r *repl) reopen() error {
+	if r.dataDir != "" {
+		return r.openDir()
+	}
+	r.reset(r.seed)
+	return nil
 }
 
 func (r *repl) reset(seed int64) {
@@ -139,6 +163,30 @@ func (r *repl) dispatch(line string) bool {
 	case strings.HasPrefix(line, `\memo `):
 		r.memo(strings.TrimPrefix(line, `\memo `))
 
+	case line == `\workers`:
+		if r.workers > 1 {
+			fmt.Printf("intra-query search workers: %d\n", r.workers)
+		} else {
+			fmt.Println("intra-query search workers: 1 (sequential engine)")
+		}
+
+	case strings.HasPrefix(line, `\workers `):
+		n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, `\workers `)))
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\workers N  (N >= 0; 0 or 1 = sequential engine)")
+			break
+		}
+		r.workers = n
+		if err := r.reopen(); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		if n > 1 {
+			fmt.Printf("intra-query search workers set to %d (plan cache cleared)\n", n)
+		} else {
+			fmt.Println("sequential engine restored (plan cache cleared)")
+		}
+
 	case line == `\cache`:
 		c := r.db.PlanCache()
 		if c == nil {
@@ -151,7 +199,7 @@ func (r *repl) dispatch(line string) bool {
 		fmt.Printf("            %d entries, %d bytes resident\n", ct.Entries, ct.CacheBytes)
 
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown command; available: \\tables \\explain \\memo \\cache \\seed \\quit")
+		fmt.Println("unknown command; available: \\tables \\explain \\memo \\cache \\workers \\seed \\quit")
 
 	default:
 		r.query(line)
@@ -167,6 +215,7 @@ func (r *repl) memo(sql string) {
 	}
 	model := relopt.New(r.cat, relopt.DefaultConfig())
 	opts := &core.Options{Budget: r.budget}
+	opts.Search.Workers = r.workers
 	if r.guided {
 		opts.Guidance.SeedPlanner = model.SeedPlanner()
 	}

@@ -35,6 +35,17 @@ type Options struct {
 // SearchOptions are the search-strategy toggles. The zero value is the
 // paper's exhaustive, pruned, memoizing search.
 type SearchOptions struct {
+	// Workers sets the intra-query parallelism of one optimization call:
+	// FindBestPlan activations are decomposed into goal and move tasks
+	// scheduled over this many workers sharing the memo. Values <= 1
+	// select the sequential engine — the exact recursive code path of
+	// prior versions, byte-identical in both plans and Stats counters.
+	// With Workers > 1 the pruning order (and therefore the effort
+	// counters) may differ run to run, but the final plan cost is always
+	// identical to a sequential run's. This is parallelism *within* one
+	// search; ParallelOptimize parallelizes *across* queries and composes
+	// with it (see ParallelOptimizeCtx on oversubscription).
+	Workers int
 	// NoPruning disables branch-and-bound: every move is pursued to
 	// completion regardless of the cost limit.
 	NoPruning bool
@@ -111,6 +122,15 @@ func (o *Options) Validate() error {
 	}
 	if o.Search.MoveFilter != nil && !o.Search.NoIncremental {
 		return errors.New("core: Search.MoveFilter requires Search.NoIncremental — heuristics must see the complete move list of every iteration, which the incremental move cache does not replay")
+	}
+	if o.Search.Workers < 0 {
+		return fmt.Errorf("core: Search.Workers must not be negative, got %d", o.Search.Workers)
+	}
+	if o.Search.Workers > 1 && o.Search.MoveFilter != nil {
+		return errors.New("core: Search.MoveFilter requires sequential search (Search.Workers <= 1) — a heuristic move order is meaningless when moves are pursued concurrently")
+	}
+	if o.Search.Workers > 1 && o.Search.GlueMode {
+		return errors.New("core: Search.GlueMode requires sequential search (Search.Workers <= 1)")
 	}
 	if o.Search.GlueMode && o.Guidance.SeedPlanner != nil {
 		return errors.New("core: Search.GlueMode and Guidance.SeedPlanner are mutually exclusive — glue mode optimizes without property-directed limits to guide")
@@ -244,6 +264,18 @@ type Stats struct {
 	// cheapest kind of pruning, and the one a seeded limit multiplies.
 	MovesSkipped int
 
+	// SearchWorkers is the number of workers the search ran on: 1 for
+	// the sequential engine, Options.Search.Workers for the task engine.
+	SearchWorkers int
+	// TasksRun counts task executions of the parallel engine: goal
+	// starts, move pursuits (including re-executions after a wake-up),
+	// and goal finalizations. Zero for a sequential run.
+	TasksRun int
+	// TasksParked counts tasks that parked on a claimed goal — suspended
+	// until the goal's owner finished — instead of spinning or
+	// duplicating the work. Zero for a sequential run.
+	TasksParked int
+
 	// SeedFloorCost is the cost of the complete seed plan captured as the
 	// anytime degradation floor (SeedPlan.Plan); nil when the seed
 	// planner supplied only a cost. When non-nil, a budget-stopped search
@@ -274,3 +306,24 @@ type Stats struct {
 // Steps returns the number of search steps taken: moves pursued, the
 // unit Budget.MaxSteps bounds.
 func (s *Stats) Steps() int { return s.AlgorithmMoves + s.EnforcerMoves }
+
+// merge folds a worker's private counters into the shared Stats. The
+// parallel engine gives each worker its own Stats so the hot pursuit
+// loops never contend on shared counters; the workers' totals are merged
+// once, after the pool joins. Only the counters pursuit touches are
+// merged — memo-side counters (Groups, Exprs, Merges, RulesFired,
+// Bindings, MatchCalls, MovesReused) accumulate directly in the shared
+// Stats under the memo's write lock.
+func (s *Stats) merge(w *Stats) {
+	s.AlgorithmMoves += w.AlgorithmMoves
+	s.EnforcerMoves += w.EnforcerMoves
+	s.Pruned += w.Pruned
+	s.WinnerHits += w.WinnerHits
+	s.FailureHits += w.FailureHits
+	s.GoalsOptimized += w.GoalsOptimized
+	s.GoalsPruned += w.GoalsPruned
+	s.MovesSkipped += w.MovesSkipped
+	s.ConsistencyViolations += w.ConsistencyViolations
+	s.TasksRun += w.TasksRun
+	s.TasksParked += w.TasksParked
+}

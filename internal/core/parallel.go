@@ -85,7 +85,21 @@ func ParallelOptimizeCtx(ctx context.Context, jobs []ParallelJob, workers int) [
 	unique, primary := coalesceJobs(jobs)
 
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		// Compose outer (per-query) with inner (intra-query) parallelism
+		// without oversubscribing: when jobs themselves run the task
+		// engine (Options.Search.Workers > 1), the automatic pool size
+		// divides the cores among them so outer×inner stays at
+		// GOMAXPROCS. An explicit workers count is taken as given.
+		inner := 1
+		for i := range jobs {
+			if o := jobs[i].Options; o != nil && o.Search.Workers > inner {
+				inner = o.Search.Workers
+			}
+		}
+		workers = runtime.GOMAXPROCS(0) / inner
+		if workers < 1 {
+			workers = 1
+		}
 	}
 	if workers > len(unique) {
 		workers = len(unique)

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-query parallel search: the recursive FindBestPlan of search.go
+// restructured as an explicit task engine. One optimization call fans
+// out into optimizeGoal, optimizeMove, and optimizeInputs tasks over a
+// pool of Options.Search.Workers workers with work-stealing deques, all
+// sharing the one memo:
+//
+//   - The memo's structure (classes, expressions, the union-find parents,
+//     the hash table, move collection) is guarded by a single RWMutex:
+//     exploration, insertion, merging, and move collection take the write
+//     lock; pursuit — where the model's cost functions burn the cycles —
+//     runs under the read lock, so any number of workers cost plans
+//     concurrently.
+//   - Winner tables, move caches, and memoized floors are guarded
+//     per-group, so goal resolution on different classes never contends.
+//   - The sequential engine's winner.inProgress cycle flag becomes a
+//     claim/subscribe protocol: the first task to need a goal claims it
+//     and spawns its optimization; later tasks that need the same goal
+//     park on the claim and are re-enqueued when the owner finishes,
+//     instead of spinning or duplicating the search.
+//   - Each goal run's branch-and-bound limit is a monotonically
+//     tightening atomic bound, compare-and-swapped by offer; a stale
+//     read can only under-prune, never discard an optimal plan.
+//
+// Pruning order — and therefore the effort counters — may differ run to
+// run, but every recorded winner is installed through the same
+// install-if-cheaper rule as the sequential engine, so final plan costs
+// are always identical to a sequential run's.
+
+// task is one schedulable unit of parallel search work.
+type task interface {
+	// exec executes the task on a worker. A task that parks itself
+	// simply returns; it is re-submitted when its claim releases.
+	exec(w *searchWorker)
+	// wake prepares a parked task for re-submission, handing it the
+	// claim it parked on — whose recorded outcome the task consumes as
+	// the goal's answer when it re-executes, exactly as the sequential
+	// engine consumes a child FindBestPlan's direct return value.
+	// (Re-resolving through the tables instead would not terminate: a
+	// failure memoized at limit F does not answer an inclusive re-ask
+	// at the same F, so the waiter would re-claim the goal forever.)
+	// transient reports that the claim released without a definitive
+	// outcome (a cycle or budget stop inside the owner).
+	wake(cl *goalClaim, transient bool)
+}
+
+// goalStatus is the outcome of resolveGoal.
+type goalStatus int8
+
+const (
+	// goalDecided: the goal is answered; a nil plan is a definitive
+	// within-limit failure.
+	goalDecided goalStatus = iota
+	// goalPending: the requester parked on the goal's claim and will be
+	// re-enqueued when it releases.
+	goalPending
+	// goalCycle: parking would close a waits-for cycle; the requester
+	// must treat the goal as transiently unanswerable, exactly as the
+	// sequential engine treats an in-progress (ancestor) goal.
+	goalCycle
+)
+
+// boundState is a goal run's branch-and-bound bound: the cost limit and
+// whether it still admits plans costing exactly the limit. offer swaps
+// in strictly tighter states; see Optimizer.offer for the sequential
+// twin of the semantics.
+type boundState struct {
+	limit     Cost
+	inclusive bool
+}
+
+// goalClaim anchors the claim/subscribe protocol on a winner-table
+// entry. waiters and released are guarded by the engine's parkMu;
+// run is immutable.
+type goalClaim struct {
+	run      *goalRun
+	waiters  []parkedTask
+	released bool
+	// transient is set at release when the owner finished without a
+	// definitive outcome; woken subscribers propagate it instead of
+	// re-claiming the goal and re-entering the same cycle.
+	transient bool
+	// outPlan is the goal's winner recorded at release (nil when the
+	// run failed or was transient); woken subscribers consume it as the
+	// goal's answer. Written once, before released is set, under parkMu.
+	outPlan *Plan
+}
+
+// failureAnswers reports whether this claim, released with no plan,
+// decisively answers a request at limit/inclusive: the failed run
+// certifies "no plan within the bound it searched under", which covers
+// the request unless the request's bound is wider — the failure-memo
+// reuse rule, extended with the run's own inclusivity (an inclusive run
+// that failed at F proved no plan costs <= F, answering an inclusive
+// re-ask at exactly F, which the memo rule alone must refuse).
+func (cl *goalClaim) failureAnswers(limit Cost, inclusive bool) bool {
+	f := cl.run.claimLimit
+	if !costLE(limit, f) {
+		return false
+	}
+	return !inclusive || cl.run.claimIncl || limit.Less(f)
+}
+
+// parkedTask is one subscriber on a claim: the task to re-enqueue and
+// the goal run it belongs to (nil for the root task), which carries the
+// waits-for edge used for cycle detection.
+type parkedTask struct {
+	t   task
+	run *goalRun
+}
+
+// goalRun is one parallel activation of the paper's FindBestPlan: the
+// claim-owning optimization of one (class, required, excluded) goal
+// under the limit fixed at claim time.
+type goalRun struct {
+	eng *searchEngine
+
+	gid      GroupID
+	wk       physKey
+	required PhysProps
+	excluded PhysProps
+	// claimLimit and claimIncl freeze the bound the goal was claimed
+	// at; a definitive failure is memoized against exactly this limit,
+	// as in the sequential engine.
+	claimLimit Cost
+	claimIncl  bool
+
+	claim *goalClaim
+
+	// bound is the run's branch-and-bound bound, tightened by CAS as
+	// offers land. Monotonic: limits only ever decrease, and inclusive
+	// only ever clears.
+	bound atomic.Pointer[boundState]
+
+	// mu guards best and transient.
+	mu        sync.Mutex
+	best      *Plan
+	transient bool
+
+	// pending counts outstanding move tasks plus one collection token;
+	// the run finalizes when it reaches zero.
+	pending atomic.Int64
+
+	// waitingOn counts, per claim, this run's tasks parked on it.
+	// Guarded by the engine's parkMu; these are the edges of the
+	// waits-for graph that cycle detection keeps acyclic.
+	waitingOn map[*goalClaim]int
+
+	// Collection snapshot for the fixpoint check, written only under
+	// the memo's write lock by the goal and inputs tasks.
+	curGid GroupID
+	curMS  *moveSet
+	curGen uint64
+	done   int
+	nExprs int
+}
+
+func (r *goalRun) setTransient() {
+	r.mu.Lock()
+	r.transient = true
+	r.mu.Unlock()
+}
+
+// offer installs a complete plan as the run's best if it improves on
+// the incumbent, tightening the atomic bound — the parallel twin of
+// Optimizer.offer.
+func (r *goalRun) offer(p *Plan) {
+	r.mu.Lock()
+	if r.best != nil && !p.Cost.Less(r.best.Cost) {
+		r.mu.Unlock()
+		return
+	}
+	r.best = p
+	r.mu.Unlock()
+	noPrune := r.eng.o.opts.Search.NoPruning
+	for {
+		b := r.bound.Load()
+		nb := boundState{limit: b.limit, inclusive: false}
+		if !noPrune && (p.Cost.Less(b.limit) || (b.inclusive && costLE(p.Cost, b.limit))) {
+			nb.limit = p.Cost
+		}
+		if nb == *b {
+			return
+		}
+		if r.bound.CompareAndSwap(b, &nb) {
+			return
+		}
+	}
+}
+
+// prune is Optimizer.prune against the run's current atomic bound.
+func (r *goalRun) prune(w *searchWorker, partial Cost) bool {
+	if r.eng.o.opts.Search.NoPruning {
+		return false
+	}
+	b := r.bound.Load()
+	if b.inclusive {
+		if b.limit.Less(partial) {
+			w.stats.Pruned++
+			return true
+		}
+		return false
+	}
+	if costLE(b.limit, partial) {
+		w.stats.Pruned++
+		return true
+	}
+	return false
+}
+
+// childBound is Optimizer.childLimit against the current atomic bound;
+// it also snapshots the bound's inclusivity for the child goal.
+func (r *goalRun) childBound(partial Cost) (Cost, bool) {
+	o := r.eng.o
+	b := r.bound.Load()
+	if o.opts.Search.NoPruning {
+		return o.model.InfiniteCost(), b.inclusive
+	}
+	rem := b.limit.Sub(partial)
+	if zero := o.model.ZeroCost(); rem.Less(zero) {
+		rem = zero
+	}
+	return rem, b.inclusive
+}
+
+// searchWorker is one worker of the pool: a work-stealing deque, private
+// Stats (merged after the pool joins), and a private budget checkpoint
+// sharing the step counter with its siblings.
+type searchWorker struct {
+	eng   *searchEngine
+	id    int // 1-based; TraceEvent.Worker
+	dq    deque
+	stats Stats
+	bud   *budgetState
+}
+
+// deque is a worker's task queue: the owner pushes and pops at the
+// bottom (LIFO, for locality), thieves steal from the top (FIFO, for
+// load balance). A mutex per deque suffices at search-worker counts.
+type deque struct {
+	mu sync.Mutex
+	ts []task
+}
+
+func (d *deque) push(t task) {
+	d.mu.Lock()
+	d.ts = append(d.ts, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() task {
+	d.mu.Lock()
+	n := len(d.ts)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.ts[n-1]
+	d.ts[n-1] = nil
+	d.ts = d.ts[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+func (d *deque) steal() task {
+	d.mu.Lock()
+	if len(d.ts) == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.ts[0]
+	copy(d.ts, d.ts[1:])
+	d.ts[len(d.ts)-1] = nil
+	d.ts = d.ts[:len(d.ts)-1]
+	d.mu.Unlock()
+	return t
+}
+
+// searchEngine drives one parallel search: the worker pool, the
+// claim/subscribe state, and the completion signal.
+type searchEngine struct {
+	o *Optimizer
+	m *Memo
+
+	workers []*searchWorker
+
+	// parkMu guards every claim's waiter list and every run's
+	// waits-for edges. Lock order: memo.mu (read or write), then a
+	// group's mu, then parkMu; parkMu is always innermost.
+	parkMu sync.Mutex
+
+	// queued counts tasks sitting in deques; sleepers counts workers
+	// blocked in cond.Wait. Together they make the idle/submit
+	// handshake race-free (see submit and sleep).
+	queued   atomic.Int64
+	sleepers atomic.Int32
+	schedMu  sync.Mutex
+	cond     *sync.Cond
+
+	sharedSteps atomic.Int64
+
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// Result, written once by stop before done closes.
+	resPlan      *Plan
+	resTransient bool
+	err          error
+}
+
+func (eng *searchEngine) isDone() bool {
+	select {
+	case <-eng.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// stop records the search outcome and releases the pool. err non-nil
+// marks an engine failure (budget exhaustion or cancellation).
+func (eng *searchEngine) stop(plan *Plan, transient bool, err error) {
+	eng.stopOnce.Do(func() {
+		eng.resPlan, eng.resTransient, eng.err = plan, transient, err
+		close(eng.done)
+		eng.schedMu.Lock()
+		eng.cond.Broadcast()
+		eng.schedMu.Unlock()
+	})
+}
+
+func (eng *searchEngine) fail(err error) { eng.stop(nil, true, err) }
+
+// submit enqueues a task, preferring the submitting worker's own deque.
+func (eng *searchEngine) submit(t task, w *searchWorker) {
+	if w == nil {
+		w = eng.workers[0]
+	}
+	w.dq.push(t)
+	eng.queued.Add(1)
+	if eng.sleepers.Load() > 0 {
+		eng.schedMu.Lock()
+		eng.cond.Broadcast()
+		eng.schedMu.Unlock()
+	}
+}
+
+// next returns the worker's next task: its own deque first, then a
+// sweep over its siblings' tops.
+func (w *searchWorker) next() task {
+	if t := w.dq.pop(); t != nil {
+		w.eng.queued.Add(-1)
+		return t
+	}
+	ws := w.eng.workers
+	for i := 1; i < len(ws); i++ {
+		v := ws[(w.id-1+i)%len(ws)]
+		if t := v.dq.steal(); t != nil {
+			w.eng.queued.Add(-1)
+			return t
+		}
+	}
+	return nil
+}
+
+// sleep blocks the worker until work or shutdown arrives; it reports
+// whether the engine is done. The sleepers counter is raised under
+// schedMu before re-checking queued, so a submit that misses the raised
+// counter is itself visible through queued — no wake-up can be lost.
+func (w *searchWorker) sleep() bool {
+	eng := w.eng
+	eng.schedMu.Lock()
+	for eng.queued.Load() == 0 {
+		if eng.isDone() {
+			eng.schedMu.Unlock()
+			return true
+		}
+		eng.sleepers.Add(1)
+		eng.cond.Wait()
+		eng.sleepers.Add(-1)
+	}
+	eng.schedMu.Unlock()
+	return eng.isDone()
+}
+
+func (w *searchWorker) loop() {
+	eng := w.eng
+	for {
+		if eng.isDone() {
+			return
+		}
+		t := w.next()
+		if t == nil {
+			if w.sleep() {
+				return
+			}
+			continue
+		}
+		w.stats.TasksRun++
+		t.exec(w)
+	}
+}
+
+// park subscribes a task to a live claim. It re-checks release under
+// parkMu (finalization marks released there), detects waits-for cycles,
+// and registers the waits-for edge. Returns goalPending when parked,
+// goalCycle when parking would deadlock, or goalDecided when the claim
+// released in the meantime (the caller re-resolves).
+func (eng *searchEngine) park(cl *goalClaim, t task, from *goalRun) goalStatus {
+	eng.parkMu.Lock()
+	defer eng.parkMu.Unlock()
+	if cl.released {
+		return goalDecided
+	}
+	if from != nil && eng.wouldCycle(cl.run, from) {
+		return goalCycle
+	}
+	cl.waiters = append(cl.waiters, parkedTask{t: t, run: from})
+	if from != nil {
+		if from.waitingOn == nil {
+			from.waitingOn = make(map[*goalClaim]int)
+		}
+		from.waitingOn[cl]++
+	}
+	return goalPending
+}
+
+// wouldCycle reports whether run `from` is reachable from `owner` over
+// waits-for edges — in which case from parking on owner's claim would
+// close a cycle. Called under parkMu.
+func (eng *searchEngine) wouldCycle(owner, from *goalRun) bool {
+	if owner == from {
+		return true
+	}
+	seen := map[*goalRun]bool{owner: true}
+	stack := []*goalRun{owner}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for cl := range r.waitingOn {
+			nxt := cl.run
+			if nxt == from {
+				return true
+			}
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return false
+}
+
+// release marks the claim released — recording the goal's outcome for
+// the subscribers to consume — and re-enqueues its subscribers.
+func (eng *searchEngine) release(cl *goalClaim, transient bool, out *Plan, w *searchWorker) {
+	eng.parkMu.Lock()
+	cl.outPlan = out
+	cl.released = true
+	cl.transient = transient
+	ws := cl.waiters
+	cl.waiters = nil
+	for _, pt := range ws {
+		if pt.run != nil {
+			if n := pt.run.waitingOn[cl] - 1; n > 0 {
+				pt.run.waitingOn[cl] = n
+			} else {
+				delete(pt.run.waitingOn, cl)
+			}
+		}
+	}
+	eng.parkMu.Unlock()
+	for _, pt := range ws {
+		pt.t.wake(cl, transient)
+		eng.submit(pt.t, w)
+	}
+}
+
+// classFloor is Optimizer.classFloor under the group's lock.
+func (eng *searchEngine) classFloor(g *Group) Cost {
+	g.mu.Lock()
+	if !g.floorSet {
+		g.floor = eng.o.lower.LowerBound(g.logProps)
+		g.floorSet = true
+	}
+	f := g.floor
+	g.mu.Unlock()
+	return f
+}
+
+// resolveGoal answers one goal request from the shared tables, or
+// arranges for it to be answered: a winner, memoized failure, or floor
+// refutation is decisive; a live claim parks the requester; an
+// unclaimed, undecided goal is claimed and its optimization spawned,
+// with the requester parked on the fresh claim. Caller holds the memo's
+// read lock.
+func (w *searchWorker) resolveGoal(from *goalRun, t task, gid GroupID, required, excluded PhysProps, limit Cost, inclusive bool) (*Plan, goalStatus) {
+	eng := w.eng
+	o := eng.o
+	m := eng.m
+	for {
+		gid = m.Find(gid)
+		g := m.groups[gid-1]
+		wk := winnerKey(required, excluded)
+
+		g.mu.Lock()
+		if win := g.lookupWinnerKeyed(wk, required, excluded); win != nil {
+			if win.plan != nil {
+				plan, cost := win.plan, win.cost
+				g.mu.Unlock()
+				w.stats.WinnerHits++
+				if costLE(cost, limit) {
+					return plan, goalDecided
+				}
+				// The recorded plan is optimal; a tighter limit cannot
+				// be met by any other plan.
+				return nil, goalDecided
+			}
+			if !o.opts.Search.NoFailureMemo && win.failedLimit != nil {
+				// Same reuse rule as the sequential engine: a failure
+				// at limit F answers an exclusive query at limit <= F
+				// and an inclusive one at limit < F.
+				if costLE(limit, win.failedLimit) && (!inclusive || limit.Less(win.failedLimit)) {
+					g.mu.Unlock()
+					w.stats.FailureHits++
+					return nil, goalDecided
+				}
+			}
+		}
+
+		// Floor refutation, before claiming or parking: when even the
+		// admissible floor breaks the bound, the goal is hopeless no
+		// matter what the claim's owner finds.
+		if o.lower != nil && !o.opts.Search.NoPruning {
+			g.mu.Unlock()
+			if lb := eng.classFloor(g); lb != nil {
+				if inclusive && limit.Less(lb) || !inclusive && costLE(limit, lb) {
+					w.stats.GoalsPruned++
+					return nil, goalDecided
+				}
+			}
+			g.mu.Lock()
+			// Re-check the tables: the goal may have been decided while
+			// the group lock was dropped for the floor computation.
+			if win := g.lookupWinnerKeyed(wk, required, excluded); win != nil && win.plan != nil {
+				plan, cost := win.plan, win.cost
+				g.mu.Unlock()
+				w.stats.WinnerHits++
+				if costLE(cost, limit) {
+					return plan, goalDecided
+				}
+				return nil, goalDecided
+			}
+		}
+
+		win := g.ensureWinnerKeyed(wk, required, excluded)
+		if cl := win.claim; cl != nil {
+			g.mu.Unlock()
+			switch eng.park(cl, t, from) {
+			case goalPending:
+				return nil, goalPending
+			case goalCycle:
+				return nil, goalCycle
+			default:
+				// Released between the table read and the park;
+				// re-resolve from the top.
+				continue
+			}
+		}
+
+		// Claim the goal and spawn its optimization.
+		run := &goalRun{
+			eng:        eng,
+			gid:        gid,
+			wk:         wk,
+			required:   required,
+			excluded:   excluded,
+			claimLimit: limit,
+			claimIncl:  inclusive,
+		}
+		run.bound.Store(&boundState{limit: limit, inclusive: inclusive})
+		cl := &goalClaim{run: run}
+		run.claim = cl
+		win.claim = cl
+		g.mu.Unlock()
+		// Park the requester on the fresh claim (never a cycle: the new
+		// run waits on nothing yet, so the DFS from it is empty).
+		eng.park(cl, t, from)
+		eng.submit(&optimizeGoalTask{run: run}, w)
+		return nil, goalPending
+	}
+}

@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// optimizeToy runs one optimization of a left-deep toy query under the
+// given worker count and returns the plan and final stats.
+func optimizeToy(t *testing.T, workers int, names []string, required core.PhysProps) (*core.Plan, core.Stats) {
+	t.Helper()
+	opts := &core.Options{}
+	opts.Search.Workers = workers
+	o := core.NewOptimizer(&toyModel{}, opts)
+	g := o.InsertQuery(leftDeepPair(names...))
+	p, err := o.Optimize(g, required)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if p == nil {
+		t.Fatalf("workers=%d: no plan", workers)
+	}
+	return p, *o.Stats()
+}
+
+// TestParallelMatchesSequential: the task engine must find plans of
+// exactly the cost the sequential engine finds, at every worker count.
+func TestParallelMatchesSequential(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	for _, req := range []core.PhysProps{toyColor(0), toyColor(3)} {
+		seq, _ := optimizeToy(t, 1, names, req)
+		for _, workers := range []int{2, 4, 8} {
+			par, stats := optimizeToy(t, workers, names, req)
+			if par.Cost != seq.Cost {
+				t.Errorf("req=%v workers=%d: cost %v, sequential %v",
+					req, workers, par.Cost, seq.Cost)
+			}
+			if stats.SearchWorkers != workers {
+				t.Errorf("SearchWorkers = %d, want %d", stats.SearchWorkers, workers)
+			}
+			if stats.TasksRun == 0 {
+				t.Errorf("workers=%d: TasksRun = 0, engine did not run", workers)
+			}
+		}
+	}
+}
+
+// TestWorkersOneByteIdentical: Workers values 0 and 1 must take the
+// sequential path and produce identical plans and identical counters —
+// the task engine must be completely inert below 2 workers.
+func TestWorkersOneByteIdentical(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	p0, s0 := optimizeToy(t, 0, names, toyColor(2))
+	p1, s1 := optimizeToy(t, 1, names, toyColor(2))
+	if p0.Cost != p1.Cost {
+		t.Fatalf("cost differs: workers=0 %v, workers=1 %v", p0.Cost, p1.Cost)
+	}
+	if p0.String() != p1.String() {
+		t.Fatalf("plan differs:\nworkers=0: %s\nworkers=1: %s", p0, p1)
+	}
+	if s0 != s1 {
+		t.Fatalf("stats differ:\nworkers=0: %+v\nworkers=1: %+v", s0, s1)
+	}
+	if s0.TasksRun != 0 || s0.TasksParked != 0 {
+		t.Fatalf("sequential run counted tasks: %+v", s0)
+	}
+	if s0.SearchWorkers != 1 {
+		t.Fatalf("SearchWorkers = %d, want 1", s0.SearchWorkers)
+	}
+}
+
+// TestParallelGuided: the guided (seeded, staged) search must compose
+// with the task engine and still return the optimal plan.
+func TestParallelGuided(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	seq, _ := optimizeToy(t, 1, names, toyColor(1))
+
+	opts := &core.Options{}
+	opts.Search.Workers = 4
+	opts.Guidance.SeedPlanner = core.SyntacticSeedPlanner()
+	o := core.NewOptimizer(&toyModel{}, opts)
+	g := o.InsertQuery(leftDeepPair(names...))
+	p, err := o.Optimize(g, toyColor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Cost != seq.Cost {
+		t.Fatalf("guided parallel: got %v, want cost %v", p, seq.Cost)
+	}
+	if o.Stats().LimitStages == 0 {
+		t.Fatal("guided run recorded no limit stages")
+	}
+}
+
+// TestParallelCancellation: a canceled context must stop the pool with
+// the typed budget error, leaving no goal parked forever — the Optimize
+// call itself returning is the no-parked-goal proof, since a wedged
+// claim would deadlock the engine's shutdown path or a later stage.
+func TestParallelCancellation(t *testing.T) {
+	opts := &core.Options{}
+	opts.Search.Workers = 4
+	o := core.NewOptimizer(&toyModel{}, opts)
+	g := o.InsertQuery(leftDeepPair("a", "b", "c", "d", "e", "f", "g"))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the budget poll fires on the first checkpoint
+	_, err := o.OptimizeCtx(ctx, g, toyColor(2))
+	if !errors.Is(err, core.ErrBudget) || !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled (an ErrBudget)", err)
+	}
+
+	// The memo must remain usable: a fresh optimizer-free call pattern is
+	// not available, but a second optimization on the same optimizer must
+	// not deadlock on a stale claim. The sticky memo error keeps the
+	// result an error, which is fine — the call must return.
+	if _, err := o.Optimize(g, toyColor(2)); err == nil {
+		t.Fatal("sticky budget error expected on reuse after cancellation")
+	}
+}
+
+// TestParallelStepBudget: MaxSteps must bound the shared step counter
+// across all workers and surface ErrStepBudget; the search must still
+// terminate promptly with every claim swept.
+func TestParallelStepBudget(t *testing.T) {
+	opts := &core.Options{}
+	opts.Search.Workers = 4
+	opts.Budget.MaxSteps = 5
+	o := core.NewOptimizer(&toyModel{}, opts)
+	g := o.InsertQuery(leftDeepPair("a", "b", "c", "d", "e", "f", "g", "h"))
+	_, err := o.Optimize(g, toyColor(2))
+	if !errors.Is(err, core.ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+}
+
+// TestParallelMarkMerge: class merges (via the MARK(x) → x rule) under
+// the task engine: moves collected before a merge must be re-collected
+// and the final cost must match the sequential engine's.
+func TestParallelMarkMerge(t *testing.T) {
+	build := func(workers int) (*core.Plan, error) {
+		opts := &core.Options{}
+		opts.Search.Workers = workers
+		o := core.NewOptimizer(&toyModel{withMarkRule: true}, opts)
+		tree := core.Node(&toyMark{}, leftDeepPair("a", "b", "c", "d"))
+		g := o.InsertQuery(tree)
+		return o.Optimize(g, toyColor(1))
+	}
+	seq, err := build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := build(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par == nil || seq == nil || par.Cost != seq.Cost {
+			t.Fatalf("workers=%d: cost %v, sequential %v", workers, par, seq)
+		}
+	}
+}
+
+// syncTracer records events under a lock; the task engine calls the
+// tracer from every worker concurrently.
+type syncTracer struct {
+	mu     sync.Mutex
+	events []core.TraceEvent
+}
+
+func (tr *syncTracer) Trace(ev core.TraceEvent) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, ev)
+	tr.mu.Unlock()
+}
+
+// TestParallelWorkerTrace: trace events from the task engine carry the
+// 1-based worker id.
+func TestParallelWorkerTrace(t *testing.T) {
+	tr := &syncTracer{}
+	opts := &core.Options{}
+	opts.Search.Workers = 2
+	opts.Trace.Tracer = tr
+	o := core.NewOptimizer(&toyModel{}, opts)
+	g := o.InsertQuery(leftDeepPair("a", "b", "c"))
+	if _, err := o.Optimize(g, toyColor(1)); err != nil {
+		t.Fatal(err)
+	}
+	sawWorker := false
+	for _, ev := range tr.events {
+		if ev.Worker > 0 {
+			sawWorker = true
+			if ev.Worker > 2 {
+				t.Fatalf("worker id %d out of range", ev.Worker)
+			}
+		}
+	}
+	if !sawWorker {
+		t.Fatal("no trace event carried a worker id")
+	}
+}

@@ -1,0 +1,698 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The three task kinds of the parallel engine. optimizeGoal starts a
+// claimed goal: it explores the class and collects its moves (under the
+// memo's write lock) and fans one optimizeMove task out per move.
+// optimizeMove is the paper's "apply the move": it costs the algorithm
+// or enforcer and resolves each input goal, parking on a claim whenever
+// an input is being optimized by another task. optimizeInputs is the
+// goal's continuation once every move of the round has completed: it
+// re-collects moves until the class is stable (the sequential engine's
+// fixpoint loop) and then finalizes the goal — installs the winner or
+// memoized failure and releases the claim, waking the subscribers.
+
+// trace emits a structured event stamped with the worker id.
+func (w *searchWorker) trace(ev TraceEvent) {
+	if t := w.eng.o.tracer; t != nil {
+		ev.Worker = w.id
+		t.Trace(ev)
+	}
+}
+
+// optimizeGoalTask starts the optimization of a freshly claimed goal.
+type optimizeGoalTask struct {
+	run *goalRun
+}
+
+func (t *optimizeGoalTask) wake(*goalClaim, bool) {} // never parks
+
+func (t *optimizeGoalTask) exec(w *searchWorker) {
+	run := t.run
+	eng := run.eng
+	m := eng.m
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		run.setTransient()
+		eng.fail(err)
+		run.finish(w)
+		return
+	}
+	spawn, stable := run.collectLocked()
+	err := m.err
+	m.mu.Unlock()
+	w.stats.GoalsOptimized++
+	w.trace(TraceEvent{Kind: TraceGoalBegin, Group: run.gid,
+		Required: run.required, Excluded: run.excluded, Limit: run.claimLimit})
+	if err != nil {
+		run.setTransient()
+		eng.fail(err)
+		run.finish(w)
+		return
+	}
+	run.dispatch(spawn, stable, w)
+}
+
+// optimizeInputsTask is a goal's continuation after a round of move
+// tasks: the fixpoint re-collection and, once stable, finalization.
+type optimizeInputsTask struct {
+	run *goalRun
+}
+
+func (t *optimizeInputsTask) wake(*goalClaim, bool) {} // never parks
+
+func (t *optimizeInputsTask) exec(w *searchWorker) {
+	run := t.run
+	eng := run.eng
+	m := eng.m
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		run.setTransient()
+		eng.fail(err)
+		run.finish(w)
+		return
+	}
+	spawn, stable := run.collectLocked()
+	err := m.err
+	m.mu.Unlock()
+	if err != nil {
+		run.setTransient()
+		eng.fail(err)
+		run.finish(w)
+		return
+	}
+	run.dispatch(spawn, stable, w)
+}
+
+// collectLocked explores the run's class and collects the moves of the
+// next round, recording the snapshot the stability check compares
+// against. Caller holds the memo's write lock. stable reports the
+// sequential fixpoint-loop exit condition: nothing new to pursue and
+// the class unchanged since the previous round.
+func (run *goalRun) collectLocked() (spawn []Move, stable bool) {
+	o, m := run.eng.o, run.eng.m
+	gid := m.Find(run.gid)
+	g := m.groups[gid-1]
+	m.exploreGroup(g)
+	if m.err != nil {
+		return nil, false
+	}
+	unchanged := gid == run.curGid && g.explored && len(g.exprs) == run.nExprs
+	if o.opts.Search.NoIncremental {
+		// From-scratch collection, as in the sequential NoIncremental
+		// path: the full move list is re-pursued every round until the
+		// class is stable.
+		if !unchanged {
+			spawn = o.collectMoves(g, run.required)
+		}
+		run.curGid, run.nExprs = gid, len(g.exprs)
+		return spawn, unchanged
+	}
+	mk := keyOf(run.required)
+	ms := g.ensureMoveSet(mk, run.required)
+	if ms != run.curMS || ms.gen != run.curGen {
+		run.done = 0
+	}
+	if ms.epoch != m.mergeEpoch {
+		ms.reset(m.mergeEpoch)
+		run.done = 0
+	}
+	if run.done == 0 && len(ms.moves) > 0 {
+		o.stats.MovesReused += len(ms.moves)
+	}
+	o.collectMovesInto(ms, g, run.required)
+	spawn = ms.moves[run.done:len(ms.moves):len(ms.moves)]
+	stable = len(spawn) == 0 && unchanged
+	run.curGid, run.nExprs = gid, len(g.exprs)
+	run.curMS, run.curGen = ms, ms.gen
+	run.done = len(ms.moves)
+	return spawn, stable
+}
+
+// dispatch fans a round of move tasks out, or finalizes the goal when
+// the fixpoint is reached.
+func (run *goalRun) dispatch(spawn []Move, stable bool, w *searchWorker) {
+	if len(spawn) == 0 {
+		if stable {
+			run.finish(w)
+		} else {
+			// Nothing to pursue this round but the class changed;
+			// run another re-collection round.
+			run.eng.submit(&optimizeInputsTask{run: run}, w)
+		}
+		return
+	}
+	run.pending.Store(int64(len(spawn)) + 1)
+	for i := range spawn {
+		run.eng.submit(&optimizeMoveTask{run: run, mv: &spawn[i]}, w)
+	}
+	run.complete(w) // drop the dispatch token
+}
+
+// complete retires one unit of the run's pending work; the last unit
+// schedules the continuation.
+func (run *goalRun) complete(w *searchWorker) {
+	if run.pending.Add(-1) == 0 {
+		run.eng.submit(&optimizeInputsTask{run: run}, w)
+	}
+}
+
+// finish finalizes the goal: install the winner or memoized failure
+// exactly as the sequential engine's post-loop code does, clear the
+// claim, and wake the subscribers.
+func (run *goalRun) finish(w *searchWorker) {
+	eng := run.eng
+	o := eng.o
+	m := eng.m
+	m.mu.Lock()
+	gid := m.Find(run.gid)
+	g := m.groups[gid-1]
+	fw := g.ensureWinnerKeyed(run.wk, run.required, run.excluded)
+	run.mu.Lock()
+	best, transient := run.best, run.transient
+	run.mu.Unlock()
+	if m.err != nil {
+		transient = true
+	}
+	var winCost Cost
+	var winPlan *Plan
+	if best != nil {
+		// A budget-interrupted run still records its best complete
+		// plan — the anytime result — but never memoizes a failure.
+		if fw.plan == nil || best.Cost.Less(fw.cost) {
+			fw.plan, fw.cost = best, best.Cost
+		}
+		winPlan, winCost = fw.plan, fw.cost
+	} else if !transient {
+		w.stats.GoalsPruned++
+		if !o.opts.Search.NoFailureMemo {
+			if fw.failedLimit == nil || fw.failedLimit.Less(run.claimLimit) {
+				fw.failedLimit = run.claimLimit
+			}
+		}
+	}
+	if fw.claim == run.claim {
+		fw.claim = nil
+	}
+	m.mu.Unlock()
+
+	if winPlan != nil {
+		w.trace(TraceEvent{Kind: TraceWinner, Group: gid,
+			Required: run.required, Cost: winCost, Plan: winPlan})
+		w.trace(TraceEvent{Kind: TraceGoalEnd, Group: gid,
+			Required: run.required, Cost: winCost})
+	} else {
+		if !transient && !o.opts.Search.NoFailureMemo {
+			w.trace(TraceEvent{Kind: TraceFailure, Group: gid,
+				Required: run.required, Limit: run.claimLimit})
+		}
+		w.trace(TraceEvent{Kind: TraceGoalEnd, Group: gid, Required: run.required})
+	}
+	eng.release(run.claim, best == nil && transient, winPlan, w)
+}
+
+// optimizeMoveTask pursues one algorithm or enforcer move. A task that
+// finds an input goal claimed parks on the claim and re-executes when
+// woken; input goals already decided then answer from the winner table,
+// so re-execution resumes the alternative it parked in.
+type optimizeMoveTask struct {
+	run *goalRun
+	mv  *Move
+	// alt is the index of the input-property alternative being pursued;
+	// alternatives before it are done or abandoned.
+	alt int
+	// counted is set once the move has been charged against the budget
+	// and the effort counters — re-executions after a wake-up are not
+	// new moves.
+	counted bool
+	// enfCounted: EnforcerMoves counts only enforcers whose Relax
+	// accepted, as in the sequential engine.
+	enfCounted bool
+	// transientWake records that the claim this task parked on released
+	// without a definitive outcome; the alternative waiting on it is
+	// abandoned and the run marked transient, exactly as the sequential
+	// engine treats a nil-transient child.
+	transientWake bool
+	// parkAlt/parkChild identify the input-goal resolution this task
+	// parked at; consume is the released claim whose outcome answers
+	// that resolution when the task re-executes. Consuming the outcome
+	// (rather than re-resolving through the tables) matches the
+	// sequential engine, which uses a child FindBestPlan's direct
+	// return value — and is what makes same-limit failure re-asks
+	// terminate.
+	parkAlt   int
+	parkChild int
+	consume   *goalClaim
+}
+
+func (t *optimizeMoveTask) wake(cl *goalClaim, transient bool) {
+	if transient {
+		t.transientWake = true
+		return
+	}
+	t.consume = cl
+}
+
+func (t *optimizeMoveTask) exec(w *searchWorker) {
+	run := t.run
+	eng := run.eng
+	m := eng.m
+	if t.transientWake {
+		t.transientWake = false
+		t.consume = nil
+		run.setTransient()
+		t.alt++
+	}
+	if w.bud != nil {
+		var err error
+		if !t.counted {
+			err = w.bud.step()
+		} else {
+			err = w.bud.tick()
+		}
+		if err != nil {
+			run.setTransient()
+			eng.fail(err)
+			run.complete(w)
+			return
+		}
+	}
+	if !t.counted {
+		t.counted = true
+		if t.mv.Kind == MoveAlgorithm {
+			w.stats.AlgorithmMoves++
+		}
+		w.trace(TraceEvent{Kind: TraceMovePursued, Group: run.gid,
+			Required: run.required, Move: t.mv.Name(), MoveKind: t.mv.Kind})
+	}
+	m.mu.RLock()
+	if m.err != nil {
+		err := m.err
+		m.mu.RUnlock()
+		run.setTransient()
+		eng.fail(err)
+		run.complete(w)
+		return
+	}
+	var parked bool
+	switch t.mv.Kind {
+	case MoveAlgorithm:
+		parked = t.pursueAlgorithm(w)
+	case MoveEnforcer:
+		parked = t.pursueEnforcer(w)
+	}
+	m.mu.RUnlock()
+	if parked {
+		w.stats.TasksParked++
+		return
+	}
+	run.complete(w)
+}
+
+// pursueAlgorithm is Optimizer.pursueAlgorithm against the shared memo:
+// bounds come from the run's atomic bound, input goals go through
+// resolveGoal. Caller holds the memo's read lock. Returns true when the
+// task parked on an input goal's claim.
+func (t *optimizeMoveTask) pursueAlgorithm(w *searchWorker) bool {
+	run := t.run
+	eng := run.eng
+	o := eng.o
+	m := eng.m
+	mv := t.mv
+	gid := m.Find(run.gid)
+	g := m.groups[gid-1]
+	rule, b := mv.Rule, mv.Binding
+	leaves := mv.leaves
+	if leaves == nil {
+		leaves = b.Leaves(nil)
+	}
+	var floors []Cost
+	var floorSum Cost
+	if o.lower != nil && !o.opts.Search.NoPruning {
+		floorSum = o.model.ZeroCost()
+		floors = make([]Cost, len(leaves))
+		for i, leaf := range leaves {
+			floors[i] = o.model.ZeroCost()
+			lg := m.groups[m.Find(leaf)-1]
+			if lb := eng.classFloor(lg); lb != nil {
+				floors[i] = lb
+			}
+			floorSum = floorSum.Add(floors[i])
+		}
+	}
+	for ; t.alt < len(mv.Alts); t.alt++ {
+		if t.alt != t.parkAlt {
+			// A pending outcome belongs to the alternative it was
+			// requested for; a pass that never reaches the park point
+			// (an earlier prune under the tightened bound) drops it.
+			t.consume = nil
+		}
+		alt := mv.Alts[t.alt]
+		if len(alt.Required) != len(leaves) {
+			panic(fmt.Sprintf("core: rule %s returned %d input requirements for %d inputs",
+				rule.Name, len(alt.Required), len(leaves)))
+		}
+		local := rule.Cost(o.ctx, b, run.required, alt)
+		total := local
+		var rest Cost
+		charged := total
+		if floors != nil {
+			rest = floorSum
+			charged = total.Add(rest)
+		}
+		if run.prune(w, charged) {
+			w.stats.MovesSkipped++
+			w.trace(TraceEvent{Kind: TraceMoveSkipped, Group: g.id,
+				Required: run.required, Move: rule.Name, MoveKind: MoveAlgorithm})
+			continue
+		}
+		inPlans := make([]*Plan, len(leaves))
+		inProps := make([]PhysProps, len(leaves))
+		ok := true
+		for i, leaf := range leaves {
+			partial := total
+			if floors != nil {
+				rest = rest.Sub(floors[i])
+				partial = total.Add(rest)
+			}
+			climit, incl := run.childBound(partial)
+			var p *Plan
+			var st goalStatus
+			if cl := t.consume; cl != nil && i == t.parkChild {
+				// The claim this task parked on has released; its
+				// outcome is the goal's answer for this resolution.
+				t.consume = nil
+				if out := cl.outPlan; out != nil {
+					// The recorded plan is optimal for the goal; a
+					// bound it cannot meet, no plan can.
+					if costLE(out.Cost, climit) {
+						p = out
+					}
+					st = goalDecided
+				} else if cl.failureAnswers(climit, incl) {
+					st = goalDecided
+				} else {
+					// The run failed under a narrower bound than this
+					// request's; re-resolve (and possibly re-claim) at
+					// the wider one.
+					p, st = w.resolveGoal(run, t, leaf, alt.Required[i], nil, climit, incl)
+				}
+			} else {
+				p, st = w.resolveGoal(run, t, leaf, alt.Required[i], nil, climit, incl)
+			}
+			switch st {
+			case goalPending:
+				t.parkAlt, t.parkChild = t.alt, i
+				return true
+			case goalCycle:
+				run.setTransient()
+				ok = false
+			default:
+				if p == nil {
+					ok = false
+				}
+			}
+			if !ok {
+				break
+			}
+			inPlans[i] = p
+			inProps[i] = p.Delivered
+			total = total.Add(p.Cost)
+			charged = total
+			if floors != nil {
+				charged = total.Add(rest)
+			}
+			if run.prune(w, charged) {
+				w.trace(TraceEvent{Kind: TraceMovePruned, Group: g.id,
+					Required: run.required, Move: rule.Name, MoveKind: MoveAlgorithm})
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		delivered := run.required
+		if rule.Delivered != nil {
+			delivered = rule.Delivered(o.ctx, b, run.required, alt, inProps)
+		}
+		if !delivered.Covers(run.required) {
+			w.stats.ConsistencyViolations++
+			w.trace(TraceEvent{Kind: TraceViolation, Group: g.id,
+				Required: run.required, Delivered: delivered,
+				Move: rule.Name, MoveKind: MoveAlgorithm})
+			continue
+		}
+		if run.excluded != nil && delivered.Covers(run.excluded) {
+			// Redundant qualification: see Optimizer.pursueAlgorithm.
+			w.stats.Pruned++
+			continue
+		}
+		run.offer(&Plan{
+			Op:        rule.Build(o.ctx, b, run.required, alt),
+			Inputs:    inPlans,
+			Delivered: delivered,
+			Cost:      total,
+			LocalCost: local,
+			Group:     g.id,
+			LogProps:  g.logProps,
+		})
+	}
+	return false
+}
+
+// pursueEnforcer is Optimizer.pursueEnforcer against the shared memo.
+// Caller holds the memo's read lock.
+func (t *optimizeMoveTask) pursueEnforcer(w *searchWorker) bool {
+	run := t.run
+	eng := run.eng
+	o := eng.o
+	m := eng.m
+	if t.alt > 0 {
+		// The single pursuit was abandoned by a transient wake-up.
+		return false
+	}
+	enf := t.mv.Enforcer
+	gid := m.Find(run.gid)
+	g := m.groups[gid-1]
+	relaxed, excl, ok := enf.Relax(o.ctx, g.logProps, run.required)
+	if !ok {
+		return false
+	}
+	if !t.enfCounted {
+		t.enfCounted = true
+		w.stats.EnforcerMoves++
+	}
+	local := enf.Cost(o.ctx, g.logProps, run.required)
+	total := local
+	charged := total
+	if o.lower != nil && !o.opts.Search.NoPruning {
+		if lb := eng.classFloor(g); lb != nil {
+			charged = total.Add(lb)
+		}
+	}
+	if run.prune(w, charged) {
+		w.stats.MovesSkipped++
+		w.trace(TraceEvent{Kind: TraceMoveSkipped, Group: g.id,
+			Required: run.required, Move: enf.Name, MoveKind: MoveEnforcer})
+		return false
+	}
+	climit, incl := run.childBound(total)
+	var in *Plan
+	var st goalStatus
+	if cl := t.consume; cl != nil {
+		t.consume = nil
+		if out := cl.outPlan; out != nil {
+			if costLE(out.Cost, climit) {
+				in = out
+			}
+			st = goalDecided
+		} else if cl.failureAnswers(climit, incl) {
+			st = goalDecided
+		} else {
+			in, st = w.resolveGoal(run, t, gid, relaxed, excl, climit, incl)
+		}
+	} else {
+		in, st = w.resolveGoal(run, t, gid, relaxed, excl, climit, incl)
+	}
+	switch st {
+	case goalPending:
+		return true
+	case goalCycle:
+		run.setTransient()
+		return false
+	default:
+		if in == nil {
+			return false
+		}
+	}
+	total = total.Add(in.Cost)
+	if run.prune(w, total) {
+		w.trace(TraceEvent{Kind: TraceMovePruned, Group: g.id,
+			Required: run.required, Move: enf.Name, MoveKind: MoveEnforcer})
+		return false
+	}
+	delivered := run.required
+	if enf.Delivered != nil {
+		delivered = enf.Delivered(o.ctx, run.required, in.Delivered)
+	}
+	if !delivered.Covers(run.required) {
+		w.stats.ConsistencyViolations++
+		w.trace(TraceEvent{Kind: TraceViolation, Group: g.id,
+			Required: run.required, Delivered: delivered,
+			Move: enf.Name, MoveKind: MoveEnforcer})
+		return false
+	}
+	if run.excluded != nil && delivered.Covers(run.excluded) {
+		w.stats.Pruned++
+		return false
+	}
+	run.offer(&Plan{
+		Op:        enf.Build(o.ctx, g.logProps, run.required),
+		Inputs:    []*Plan{in},
+		Delivered: delivered,
+		Cost:      total,
+		LocalCost: local,
+		Group:     g.id,
+		LogProps:  g.logProps,
+	})
+	return false
+}
+
+// rootTask carries the caller's goal into the engine: it resolves the
+// root goal, parking on its claim like any subscriber, and publishes
+// the decisive answer as the engine's result.
+type rootTask struct {
+	gid       GroupID
+	required  PhysProps
+	limit     Cost
+	inclusive bool
+	// sawTransient: the root goal's run released without a definitive
+	// outcome; re-claiming would re-enter the same cycle, so the search
+	// reports a transient failure, as the sequential engine does.
+	sawTransient bool
+	// consume holds the released claim this task parked on; its outcome
+	// is the root goal's answer.
+	consume *goalClaim
+}
+
+func (t *rootTask) wake(cl *goalClaim, transient bool) {
+	if transient {
+		t.sawTransient = true
+		return
+	}
+	t.consume = cl
+}
+
+func (t *rootTask) exec(w *searchWorker) {
+	eng := w.eng
+	m := eng.m
+	m.mu.RLock()
+	if m.err != nil {
+		err := m.err
+		m.mu.RUnlock()
+		eng.fail(err)
+		return
+	}
+	if t.sawTransient {
+		m.mu.RUnlock()
+		eng.stop(nil, true, nil)
+		return
+	}
+	var p *Plan
+	var st goalStatus
+	if cl := t.consume; cl != nil {
+		t.consume = nil
+		if out := cl.outPlan; out != nil {
+			if costLE(out.Cost, t.limit) {
+				p = out
+			}
+			st = goalDecided
+		} else if cl.failureAnswers(t.limit, t.inclusive) {
+			st = goalDecided
+		} else {
+			p, st = w.resolveGoal(nil, t, t.gid, t.required, nil, t.limit, t.inclusive)
+		}
+	} else {
+		p, st = w.resolveGoal(nil, t, t.gid, t.required, nil, t.limit, t.inclusive)
+	}
+	m.mu.RUnlock()
+	switch st {
+	case goalDecided:
+		eng.stop(p, false, nil)
+	case goalCycle:
+		eng.stop(nil, true, nil)
+	case goalPending:
+		// Parked on the root goal's claim; re-enqueued when it
+		// releases.
+	}
+}
+
+// parallelSearch is searchRoot's task-engine arm: it builds the worker
+// pool, injects the root goal, and blocks until the goal is decided or
+// the search fails on a budget bound. Every structural invariant of the
+// sequential engine — what a recorded winner or failure certifies — is
+// preserved, so the winner tables the call leaves behind are reusable
+// by later (sequential or parallel) stages on the same memo.
+func (o *Optimizer) parallelSearch(root GroupID, required PhysProps, limit Cost, inclusive bool) (*Plan, bool) {
+	m := o.memo
+	n := o.opts.Search.Workers
+	eng := &searchEngine{o: o, m: m, done: make(chan struct{})}
+	eng.cond = sync.NewCond(&eng.schedMu)
+	eng.workers = make([]*searchWorker, n)
+	for i := range eng.workers {
+		w := &searchWorker{eng: eng, id: i + 1}
+		if o.bud != nil {
+			w.bud = o.bud.workerClone(&eng.sharedSteps)
+		}
+		eng.workers[i] = w
+	}
+	if o.bud != nil {
+		// Steps spent by earlier sequential stages count against the
+		// same MaxSteps bound.
+		eng.sharedSteps.Store(int64(o.bud.steps))
+	}
+	m.concurrent = true
+	eng.submit(&rootTask{gid: root, required: required, limit: limit, inclusive: inclusive}, nil)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for _, w := range eng.workers {
+		go func(w *searchWorker) {
+			defer wg.Done()
+			w.loop()
+		}(w)
+	}
+	<-eng.done
+	wg.Wait()
+	m.concurrent = false
+	for _, w := range eng.workers {
+		o.stats.merge(&w.stats)
+	}
+	if o.bud != nil {
+		o.bud.steps = int(eng.sharedSteps.Load())
+	}
+	// Sweep stale claims: a shutdown (root decided, or a budget stop)
+	// abandons in-flight goal runs; their claims must not wedge a later
+	// optimization stage on this memo, and no subscriber may stay
+	// parked forever — parked tasks die with the engine, never blocking
+	// a goroutine.
+	for _, g := range m.groups {
+		for _, wn := range g.winners {
+			for ; wn != nil; wn = wn.next {
+				wn.claim = nil
+			}
+		}
+	}
+	if eng.err != nil && m.err == nil {
+		m.err = eng.err
+	}
+	return eng.resPlan, eng.resTransient
+}

@@ -136,22 +136,16 @@ func Run(cfg Config) []Point {
 		for q := 0; q < cfg.QueriesPerLevel; q++ {
 			query := src.SelectJoinQuery(cat, n, cfg.Shape)
 
+			// Volcano completes every test query (the paper: exhaustive
+			// search "for all test queries" within 1 MB), so its means
+			// cover the whole level even when the baseline aborts.
 			vms, vcost, vstats, err := MeasureVolcano(cat, query, volOpts)
 			if err != nil {
 				panic(fmt.Sprintf("fig4: volcano failed on %d relations: %v", n, err))
 			}
-			ems, ecost, estats, err := MeasureExodus(cat, query, cfg)
-			if err != nil {
-				continue // aborted baseline run: excluded, as in the paper
-			}
-			completed++
 			volSamples = append(volSamples, vms)
-			exoSamples = append(exoSamples, ems)
 			volCost += vcost
-			exoCost += ecost
-			ratio += ecost / vcost
 			volMem += vstats.PeakMemoBytes
-			exoMem += estats.MemoryBytes
 			volGoals += vstats.GoalsOptimized
 			volMatches += vstats.MatchCalls
 			volReused += vstats.MovesReused
@@ -161,16 +155,22 @@ func Run(cfg Config) []Point {
 			volStages += float64(vstats.LimitStages)
 			volPruned += float64(vstats.GoalsPruned)
 			volSkipped += float64(vstats.MovesSkipped)
+
+			ems, ecost, estats, err := MeasureExodus(cat, query, cfg)
+			if err != nil {
+				continue // aborted baseline run: excluded, as in the paper
+			}
+			completed++
+			exoSamples = append(exoSamples, ems)
+			exoCost += ecost
+			ratio += ecost / vcost
+			exoMem += estats.MemoryBytes
 		}
-		if completed > 0 {
-			f := float64(completed)
+		if nq := len(volSamples); nq > 0 {
+			f := float64(nq)
 			pt.VolcanoMS, pt.VolcanoStdDevMS = meanStdDev(volSamples)
-			pt.ExodusMS, pt.ExodusStdDevMS = meanStdDev(exoSamples)
 			pt.VolcanoCost = volCost / f
-			pt.ExodusCost = exoCost / f
-			pt.QualityRatio = ratio / f
-			pt.VolcanoMemBytes = volMem / completed
-			pt.ExodusMemBytes = exoMem / completed
+			pt.VolcanoMemBytes = volMem / nq
 			pt.VolcanoGoals = float64(volGoals) / f
 			pt.VolcanoMatchCalls = float64(volMatches) / f
 			pt.VolcanoMovesReused = float64(volReused) / f
@@ -178,6 +178,13 @@ func Run(cfg Config) []Point {
 			pt.VolcanoLimitStages = volStages / f
 			pt.VolcanoGoalsPruned = volPruned / f
 			pt.VolcanoMovesSkipped = volSkipped / f
+		}
+		if completed > 0 {
+			f := float64(completed)
+			pt.ExodusMS, pt.ExodusStdDevMS = meanStdDev(exoSamples)
+			pt.ExodusCost = exoCost / f
+			pt.QualityRatio = ratio / f
+			pt.ExodusMemBytes = exoMem / completed
 		}
 		pt.ExodusCompleted = completed
 		points = append(points, pt)

@@ -3,6 +3,7 @@ package fig4
 import (
 	"encoding/json"
 	"os"
+	"sort"
 )
 
 // BenchReport is the machine-readable form of a Figure-4 run, written as
@@ -17,6 +18,8 @@ type BenchReport struct {
 	Parallel *Sweep `json:"parallel,omitempty"`
 	// Cache holds the plan-cache serving measurements, when run.
 	Cache *CacheResult `json:"cache,omitempty"`
+	// Spar holds the intra-query parallel search A/B, when run.
+	Spar *SparResult `json:"spar,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.
@@ -89,6 +92,31 @@ func NewBenchReport(cfg Config, points []Point, sweep *Sweep) BenchReport {
 		})
 	}
 	return rep
+}
+
+// MergeBenchPoints folds freshly measured per-level points into an
+// existing report's points, keyed by the number of relations: a rerun
+// level replaces its old entry, new levels extend the curve, and levels
+// the rerun did not cover are preserved. This lets a sweep extension
+// (say, 9-10 relations) merge into BENCH_fig4.json without repeating
+// the cheap levels.
+func MergeBenchPoints(old, fresh []BenchPoint) []BenchPoint {
+	merged := append([]BenchPoint(nil), old...)
+	for _, p := range fresh {
+		replaced := false
+		for i := range merged {
+			if merged[i].Relations == p.Relations {
+				merged[i] = p
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			merged = append(merged, p)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Relations < merged[j].Relations })
+	return merged
 }
 
 // ReadBenchJSON loads a previously written report, so a run of one

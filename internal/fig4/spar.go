@@ -1,0 +1,162 @@
+package fig4
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relopt"
+)
+
+// SparRow is one worker count's aggregate over a complexity level: the
+// same queries re-optimized with the intra-query task engine, A/B'd
+// against the sequential baseline run of the identical query stream.
+type SparRow struct {
+	// Workers is Options.Search.Workers for this row.
+	Workers int `json:"workers"`
+	// WallMS is the total optimization time over the level's queries.
+	WallMS float64 `json:"wall_ms"`
+	// Speedup is sequential wall time divided by this row's wall time.
+	Speedup float64 `json:"speedup"`
+	// CostMismatches counts queries whose parallel plan cost diverged
+	// from the sequential plan cost. Correctness requires zero: the
+	// task engine may pursue moves in a different order, but the memo
+	// invariants guarantee the same optimum.
+	CostMismatches int `json:"cost_mismatches"`
+	// MeanTasksRun and MeanTasksParked are per-query task-engine
+	// telemetry means: tasks executed and claim-subscription parks.
+	MeanTasksRun    float64 `json:"mean_tasks_run"`
+	MeanTasksParked float64 `json:"mean_tasks_parked"`
+}
+
+// SparLevel is one complexity level of the intra-query parallel A/B.
+type SparLevel struct {
+	// Relations is the number of input relations (joins + 1).
+	Relations int `json:"relations"`
+	// Queries is the number of queries at this level.
+	Queries int `json:"queries"`
+	// SequentialMS is the total sequential optimization time.
+	SequentialMS float64 `json:"sequential_wall_ms"`
+	// MeanCost is the mean sequential plan cost (the reference).
+	MeanCost float64 `json:"mean_plan_cost"`
+	// Rows holds one entry per worker count.
+	Rows []SparRow `json:"rows"`
+}
+
+// SparResult is the outcome of RunSpar, serialized into BENCH_fig4.json
+// as the "spar" section.
+type SparResult struct {
+	// GOMAXPROCS records the hardware parallelism available to the
+	// run; speedups are only meaningful relative to it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// WorkerCounts echoes the sweep's Options.Search.Workers values.
+	WorkerCounts []int `json:"worker_counts"`
+	// Levels holds one entry per complexity level.
+	Levels []SparLevel `json:"levels"`
+	// CostMismatches is the total across all levels and worker counts.
+	CostMismatches int `json:"cost_mismatches"`
+}
+
+// RunSpar A/B-tests intra-query parallel search against the sequential
+// engine on the hardest Figure-4 queries (8+ input relations, or the
+// largest configured level when the sweep tops out below 8). Each query
+// is optimized once sequentially and once per worker count; plan costs
+// must agree exactly up to floating-point tolerance, and wall-clock
+// ratios report the speedup. workerCounts defaults to {2, 4, 8}.
+func RunSpar(cfg Config, workerCounts []int) SparResult {
+	cfg = cfg.Defaults()
+	if len(workerCounts) == 0 {
+		workerCounts = []int{2, 4, 8}
+	}
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(cfg.MaxRelations)
+
+	// The production configuration (guided search) unless the caller
+	// asked for the unguided engine; parallel search composes with both.
+	base := &core.Options{}
+	if !cfg.Unguided {
+		base.Guidance.SeedPlanner = relopt.New(cat, relopt.DefaultConfig()).SeedPlanner()
+	}
+
+	lo := cfg.MinRelations
+	if lo < 8 {
+		lo = 8
+	}
+	if lo > cfg.MaxRelations {
+		lo = cfg.MaxRelations
+	}
+
+	res := SparResult{GOMAXPROCS: runtime.GOMAXPROCS(0), WorkerCounts: workerCounts}
+	for n := lo; n <= cfg.MaxRelations; n++ {
+		queries := make([]datagen.Query, cfg.QueriesPerLevel)
+		for q := range queries {
+			queries[q] = src.SelectJoinQuery(cat, n, cfg.Shape)
+		}
+
+		lvl := SparLevel{Relations: n, Queries: len(queries)}
+		seqCosts := make([]float64, len(queries))
+		var costSum float64
+		for q, query := range queries {
+			ms, cost, _, err := MeasureVolcano(cat, query, base)
+			if err != nil {
+				panic(fmt.Sprintf("fig4: sequential volcano failed on %d relations: %v", n, err))
+			}
+			lvl.SequentialMS += ms
+			seqCosts[q] = cost
+			costSum += cost
+		}
+		if len(queries) > 0 {
+			lvl.MeanCost = costSum / float64(len(queries))
+		}
+
+		for _, workers := range workerCounts {
+			opts := *base
+			opts.Search.Workers = workers
+			row := SparRow{Workers: workers}
+			var tasksRun, tasksParked int
+			for q, query := range queries {
+				ms, cost, stats, err := MeasureVolcano(cat, query, &opts)
+				if err != nil {
+					panic(fmt.Sprintf("fig4: parallel volcano (workers=%d) failed on %d relations: %v", workers, n, err))
+				}
+				row.WallMS += ms
+				tasksRun += stats.TasksRun
+				tasksParked += stats.TasksParked
+				if math.Abs(cost-seqCosts[q]) > 1e-6*seqCosts[q] {
+					row.CostMismatches++
+				}
+			}
+			if row.WallMS > 0 {
+				row.Speedup = lvl.SequentialMS / row.WallMS
+			}
+			if len(queries) > 0 {
+				row.MeanTasksRun = float64(tasksRun) / float64(len(queries))
+				row.MeanTasksParked = float64(tasksParked) / float64(len(queries))
+			}
+			res.CostMismatches += row.CostMismatches
+			lvl.Rows = append(lvl.Rows, row)
+		}
+		res.Levels = append(res.Levels, lvl)
+	}
+	return res
+}
+
+// FormatSpar renders the A/B as one table per complexity level.
+func FormatSpar(r SparResult) string {
+	out := fmt.Sprintf("Intra-query parallel search A/B — GOMAXPROCS=%d\n", r.GOMAXPROCS)
+	for _, lvl := range r.Levels {
+		out += fmt.Sprintf("%d relations, %d queries — sequential %.1f ms (mean cost %.1f)\n",
+			lvl.Relations, lvl.Queries, lvl.SequentialMS, lvl.MeanCost)
+		out += fmt.Sprintf("  %-8s %10s %8s %10s %12s %10s\n",
+			"workers", "wall-ms", "speedup", "mismatch", "tasks/query", "parks")
+		for _, row := range lvl.Rows {
+			out += fmt.Sprintf("  %-8d %10.1f %7.2fx %10d %12.1f %10.1f\n",
+				row.Workers, row.WallMS, row.Speedup, row.CostMismatches,
+				row.MeanTasksRun, row.MeanTasksParked)
+		}
+	}
+	out += fmt.Sprintf("total cost mismatches: %d\n", r.CostMismatches)
+	return out
+}

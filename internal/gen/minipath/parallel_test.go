@@ -1,0 +1,57 @@
+package minipath_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen/minipath"
+	"repro/internal/oodb"
+)
+
+// TestParallelSearchMatchesSequential: the task engine over the OODB
+// path model — materialize chains with selections and assembledness
+// requirements — must price plans exactly as the sequential engine does
+// at every worker count.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	cat := schema()
+	m := oodb.New(cat, oodb.DefaultParams())
+	generated := minipath.New(m)
+
+	steps := []string{"dept", "division", "company"}
+	for k := 0; k <= 3; k++ {
+		for _, withSelect := range []bool{false, true} {
+			for _, required := range []core.PhysProps{nil, oodb.Assembled} {
+				tree := func() *core.ExprTree {
+					q := core.Node(&oodb.GetSet{Cls: cat.Class("Emp")})
+					if withSelect {
+						q = core.Node(&oodb.Select{Attr: "age", Op: oodb.CmpGT, Val: 40}, q)
+					}
+					for _, s := range steps[:k] {
+						q = core.Node(&oodb.Materialize{Attr: s}, q)
+					}
+					return q
+				}
+
+				seqOpt := core.NewOptimizer(generated, nil)
+				seqPlan, err := seqOpt.Optimize(seqOpt.InsertQuery(tree()), required)
+				if err != nil || seqPlan == nil {
+					t.Fatalf("k=%d sel=%v sequential: plan=%v err=%v", k, withSelect, seqPlan, err)
+				}
+
+				for _, workers := range []int{2, 4, 8} {
+					opts := &core.Options{}
+					opts.Search.Workers = workers
+					parOpt := core.NewOptimizer(generated, opts)
+					parPlan, err := parOpt.Optimize(parOpt.InsertQuery(tree()), required)
+					if err != nil || parPlan == nil {
+						t.Fatalf("k=%d sel=%v workers=%d: plan=%v err=%v", k, withSelect, workers, parPlan, err)
+					}
+					if parPlan.Cost.(oodb.Cost) != seqPlan.Cost.(oodb.Cost) {
+						t.Errorf("k=%d sel=%v req=%v workers=%d: cost %s, sequential %s",
+							k, withSelect, required, workers, parPlan.Cost, seqPlan.Cost)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package minirel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/gen/minirel"
+	"repro/internal/relopt"
+)
+
+// TestParallelSearchMatchesSequential: the intra-query task engine must
+// find plans costing exactly what the sequential engine finds, for every
+// worker count, across random select-join queries over the generated
+// minirel model. Run under -race this also exercises the engine's
+// locking on a production-shaped model.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	src := datagen.New(33)
+	cat := src.Catalog(6)
+	sup := minirel.NewSupport(cat)
+	for n := 3; n <= 6; n++ {
+		for trial := 0; trial < 4; trial++ {
+			q := src.SelectJoinQuery(cat, n, datagen.ShapeRandom)
+			required := relopt.SortedOn(q.OrderBy)
+
+			seqOpt := core.NewOptimizer(minirel.New(sup), nil)
+			seqPlan, err := seqOpt.Optimize(seqOpt.InsertQuery(q.Root), required)
+			if err != nil || seqPlan == nil {
+				t.Fatalf("n=%d trial=%d sequential: plan=%v err=%v", n, trial, seqPlan, err)
+			}
+			want := seqPlan.Cost.(relopt.Cost).Total()
+
+			for _, workers := range []int{2, 4, 8} {
+				opts := &core.Options{}
+				opts.Search.Workers = workers
+				parOpt := core.NewOptimizer(minirel.New(sup), opts)
+				parPlan, err := parOpt.Optimize(parOpt.InsertQuery(q.Root), required)
+				if err != nil || parPlan == nil {
+					t.Fatalf("n=%d trial=%d workers=%d: plan=%v err=%v", n, trial, workers, parPlan, err)
+				}
+				got := parPlan.Cost.(relopt.Cost).Total()
+				if math.Abs(got-want) > 1e-6*want {
+					t.Errorf("n=%d trial=%d workers=%d: cost %.4f, sequential %.4f\nparallel:\n%s\nsequential:\n%s",
+						n, trial, workers, got, want, parPlan.Format(), seqPlan.Format())
+				}
+				if parOpt.Stats().ConsistencyViolations != 0 {
+					t.Errorf("n=%d trial=%d workers=%d: consistency violations", n, trial, workers)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package pairs_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen/pairs"
+)
+
+// deepPairTree builds PAIR(...PAIR(PAIR(a,b),c)...) over n leaves.
+func deepPairTree(n int) *core.ExprTree {
+	t := core.Node(&leafOp{name: "l0"})
+	for i := 1; i < n; i++ {
+		t = core.Node(&pairOp{}, t, core.Node(&leafOp{name: string(rune('a' + i))}))
+	}
+	return t
+}
+
+// TestParallelSearchMatchesSequential: the task engine over the
+// generated pairs model (default operators, paint enforcer) must match
+// the sequential engine's plan cost at every worker count, with and
+// without a color requirement.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	model := pairs.New(sup{})
+	for _, n := range []int{3, 5, 7} {
+		for _, required := range []core.PhysProps{nil, pcolor(2)} {
+			seqOpt := core.NewOptimizer(model, nil)
+			seqPlan, err := seqOpt.Optimize(seqOpt.InsertQuery(deepPairTree(n)), required)
+			if err != nil || seqPlan == nil {
+				t.Fatalf("n=%d sequential: plan=%v err=%v", n, seqPlan, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				opts := &core.Options{}
+				opts.Search.Workers = workers
+				parOpt := core.NewOptimizer(model, opts)
+				parPlan, err := parOpt.Optimize(parOpt.InsertQuery(deepPairTree(n)), required)
+				if err != nil || parPlan == nil {
+					t.Fatalf("n=%d workers=%d: plan=%v err=%v", n, workers, parPlan, err)
+				}
+				if parPlan.Cost.(pcost) != seqPlan.Cost.(pcost) {
+					t.Errorf("n=%d req=%v workers=%d: cost %v, sequential %v",
+						n, required, workers, parPlan.Cost, seqPlan.Cost)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package relopt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestParallelSearchMatchesSequential: the task engine over the
+// hand-maintained relational model must price the chain query exactly as
+// the sequential engine does, unsorted and sorted, guided and unguided,
+// at every worker count.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	cat, cols := testCatalog(t)
+	model := New(cat, DefaultConfig())
+	for _, required := range []core.PhysProps{nil, SortedOn(cols["proj.budget"])} {
+		for _, guided := range []bool{false, true} {
+			base := &core.Options{}
+			if guided {
+				base.Guidance.SeedPlanner = core.SyntacticSeedPlanner()
+			}
+			seqOpt := core.NewOptimizer(model, base)
+			seqPlan, err := seqOpt.Optimize(seqOpt.InsertQuery(chainQuery(cat, cols)), required)
+			if err != nil || seqPlan == nil {
+				t.Fatalf("guided=%v sequential: plan=%v err=%v", guided, seqPlan, err)
+			}
+			want := seqPlan.Cost.(Cost).Total()
+
+			for _, workers := range []int{2, 4, 8} {
+				opts := *base
+				opts.Search.Workers = workers
+				parOpt := core.NewOptimizer(model, &opts)
+				parPlan, err := parOpt.Optimize(parOpt.InsertQuery(chainQuery(cat, cols)), required)
+				if err != nil || parPlan == nil {
+					t.Fatalf("guided=%v workers=%d: plan=%v err=%v", guided, workers, parPlan, err)
+				}
+				got := parPlan.Cost.(Cost).Total()
+				if math.Abs(got-want) > 1e-6*want {
+					t.Errorf("guided=%v req=%v workers=%d: cost %.4f, sequential %.4f",
+						guided, required, workers, got, want)
+				}
+			}
+		}
+	}
+}
