@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar profile fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ bench-cache:
 # parallel plan cost diverges from the sequential optimum.
 bench-spar:
 	$(GO) run ./cmd/volcano-bench -experiment fig4spar -json ""
+
+# End-to-end optimize-and-execute A/B over ~10⁶-row generated tables:
+# the row-at-a-time engine vs batched vs batched behind a parallel
+# exchange at degrees 2/4/8. Every engine's result multiset is gated
+# against the row baseline; volcano-bench exits non-zero on a mismatch.
+# Override ROWS for other scales (e.g. ROWS=10000000).
+ROWS ?= 1000000
+bench-e2e:
+	$(GO) run ./cmd/volcano-bench -experiment e2e -rows $(ROWS) -json ""
 
 # CPU and heap profiles of the Figure-4 hot path (serial fig4 by
 # default; override EXPERIMENT=fig4spar etc. to profile another).

@@ -6,6 +6,7 @@
 //	volcano-bench -experiment fig4par    # worker-pool throughput sweep
 //	volcano-bench -experiment fig4spar   # intra-query parallel search A/B
 //	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
+//	volcano-bench -experiment e2e        # optimize-and-execute engine A/B
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
@@ -28,6 +29,13 @@
 // sequential optimum. -cpuprofile and -memprofile write pprof profiles
 // of whatever experiment runs.
 //
+// The e2e experiment optimizes AND executes workloads over generated
+// tables of -rows rows each, A/B-ing the row-at-a-time engine against
+// the batched engine (-batch-size) and the batched engine behind a
+// parallel exchange at degrees 2, 4, and 8 (-exec-workers caps the
+// producer goroutines). It exits non-zero if any engine's result
+// multiset diverges from the row-engine baseline.
+//
 // The fig4 experiment additionally writes a machine-readable report
 // (default BENCH_fig4.json; -json "" disables) so per-level optimization
 // time, plan cost, memo size, and search-effort counters can be tracked
@@ -48,7 +56,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | e2e | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -61,6 +69,9 @@ func main() {
 	optTimeout := flag.Duration("timeout", 0, "anytime per-query wall-clock budget (0 = sweep defaults)")
 	optSteps := flag.Int("max-steps", 0, "anytime per-query step budget in moves pursued (0 = sweep defaults)")
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers for fig4spar (0 = sweep 2,4,8)")
+	e2eRows := flag.Int64("rows", 1_000_000, "e2e target rows per generated table")
+	batchSize := flag.Int("batch-size", 0, "e2e executor rows per batch (0 = default)")
+	execWorkers := flag.Int("exec-workers", 0, "e2e exchange producer goroutines (0 = one per partition)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -122,6 +133,7 @@ func main() {
 	var fig4Sweep *fig4.Sweep
 	var fig4Cache *fig4.CacheResult
 	var fig4Spar *fig4.SparResult
+	var fig4E2E *fig4.E2EResult
 
 	run := func(name string) {
 		switch name {
@@ -144,6 +156,14 @@ func main() {
 			fmt.Print(fig4.FormatSpar(spar))
 			if spar.CostMismatches > 0 {
 				fmt.Fprintf(os.Stderr, "volcano-bench: %d parallel-search plans diverged from sequential costs\n", spar.CostMismatches)
+				os.Exit(1)
+			}
+		case "e2e":
+			e2e := fig4.RunE2E(cfg, *e2eRows, *batchSize, *execWorkers, nil)
+			fig4E2E = &e2e
+			fmt.Print(fig4.FormatE2E(e2e))
+			if e2e.Mismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d executed results diverged from the row-engine baseline\n", e2e.Mismatches)
 				os.Exit(1)
 			}
 		case "fig4cache":
@@ -206,17 +226,18 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "e2e", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
 		rep.Cache = fig4Cache
 		rep.Spar = fig4Spar
+		rep.E2E = fig4E2E
 		// Keep the sections of experiments this invocation did not rerun,
 		// and merge rerun levels into the existing per-level curve.
 		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
@@ -237,6 +258,9 @@ func main() {
 			}
 			if fig4Spar == nil {
 				rep.Spar = old.Spar
+			}
+			if fig4E2E == nil {
+				rep.E2E = old.E2E
 			}
 		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {

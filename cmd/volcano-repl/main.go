@@ -46,11 +46,14 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "per-query optimization step budget in moves pursued (0 = unbounded)")
 	cacheSize := flag.Int64("cache-size", 64<<20, "plan-cache budget in bytes (0 disables the cache)")
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
+	batchSize := flag.Int("batch-size", 0, "executor rows per batch (0 = default, 1 = row-at-a-time)")
+	execWorkers := flag.Int("exec-workers", 0, "exchange producer goroutines (0 = one per partition)")
 	flag.Parse()
 
 	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
 	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget,
-		cacheBytes: *cacheSize, workers: *searchWorkers, dataDir: *dataDir}
+		cacheBytes: *cacheSize, workers: *searchWorkers, dataDir: *dataDir,
+		batchSize: *batchSize, execWorkers: *execWorkers}
 	if *dataDir != "" {
 		if err := r.openDir(); err != nil {
 			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
@@ -85,6 +88,9 @@ type repl struct {
 	cacheBytes int64
 	workers    int
 	dataDir    string
+
+	batchSize   int
+	execWorkers int
 }
 
 // options assembles the database options from the repl's flags.
@@ -92,6 +98,8 @@ func (r *repl) options() *vdb.Options {
 	opts := &vdb.Options{Guided: r.guided, CacheBytes: r.cacheBytes}
 	opts.Search.Budget = r.budget
 	opts.Search.Search.Workers = r.workers
+	opts.Exec.BatchSize = r.batchSize
+	opts.Exec.ExchangeWorkers = r.execWorkers
 	if r.trace {
 		opts.Search.Trace.Tracer = core.ClassicTracer(func(line string) {
 			fmt.Printf("  trace: %s\n", line)

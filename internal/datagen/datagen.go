@@ -63,6 +63,20 @@ func (s *Source) addTable(cat *rel.Catalog, name string, rows int64) *rel.Table 
 	return t
 }
 
+// ScaledCatalog generates n tables named R1..Rn with cardinalities
+// spread within ±20% of rows (same column layout as Catalog). It scales
+// the paper's setup to execution-benchmark sizes (10⁵–10⁷ rows) where
+// batched-versus-row throughput differences are measurable.
+func (s *Source) ScaledCatalog(n int, rows int64) *rel.Catalog {
+	cat := rel.NewCatalog()
+	for i := 1; i <= n; i++ {
+		lo := rows - rows/5
+		r := lo + s.rng.Int63n(2*rows/5+1)
+		s.addTable(cat, fmt.Sprintf("R%d", i), r)
+	}
+	return cat
+}
+
 func maxi(a, b int64) int64 {
 	if a > b {
 		return a

@@ -17,13 +17,25 @@ type aggState struct {
 	any   bool
 }
 
-func newAggStates(aggs []rel.Agg, schema *Schema) []aggState {
+// aggPositions resolves aggregate argument positions once, so per-group
+// state initialization never consults the schema.
+func aggPositions(aggs []rel.Agg, schema *Schema) []int {
+	pos := make([]int, len(aggs))
+	for i, a := range aggs {
+		pos[i] = -1
+		if a.Fn != rel.AggCount {
+			pos[i] = schema.Pos(a.Col)
+		}
+	}
+	return pos
+}
+
+// newAggStates initializes per-group accumulators from pre-resolved
+// argument positions (see aggPositions).
+func newAggStates(aggs []rel.Agg, pos []int) []aggState {
 	out := make([]aggState, len(aggs))
 	for i, a := range aggs {
-		out[i] = aggState{fn: a.Fn, pos: -1}
-		if a.Fn != rel.AggCount {
-			out[i].pos = schema.Pos(a.Col)
-		}
+		out[i] = aggState{fn: a.Fn, pos: pos[i]}
 	}
 	return out
 }
@@ -66,44 +78,55 @@ type SortGroupBy struct {
 
 	groupPos []int
 	aggs     []rel.Agg
-	schema   *Schema
+	aggPos   []int
+	size     int
 
+	in     cursor
 	cur    Row
 	states []aggState
 	done   bool
+	out    Batch
+	ra     rowAdapter
 }
 
-// NewSortGroupBy resolves grouping columns against the input schema.
+// NewSortGroupBy resolves grouping columns and aggregate arguments
+// against the input schema.
 func NewSortGroupBy(in Iterator, schema *Schema, groupCols []rel.ColID, aggs []rel.Agg) *SortGroupBy {
-	g := &SortGroupBy{In: in, aggs: aggs, schema: schema}
+	g := &SortGroupBy{In: in, aggs: aggs, aggPos: aggPositions(aggs, schema), size: DefaultBatchSize}
 	for _, c := range groupCols {
 		g.groupPos = append(g.groupPos, schema.Pos(c))
 	}
 	return g
 }
 
+// SetBatchSize sets the rows per batch.
+func (g *SortGroupBy) SetBatchSize(n int) { g.size = sizeOrDefault(n) }
+
 // Open opens the input.
 func (g *SortGroupBy) Open() error {
 	g.cur, g.states, g.done = nil, nil, false
-	return g.In.Open()
+	g.ra.reset()
+	if err := g.In.Open(); err != nil {
+		return err
+	}
+	g.in.reset(asBatch(g.In))
+	return nil
 }
 
-// Next returns the next completed group.
-func (g *SortGroupBy) Next() (Row, bool, error) {
-	if g.done {
-		return nil, false, nil
-	}
-	for {
-		row, ok, err := g.In.Next()
+// NextBatch returns the next batch of completed groups.
+func (g *SortGroupBy) NextBatch() (*Batch, bool, error) {
+	g.out.reset()
+	for !g.done && len(g.out.Rows) < g.size {
+		row, ok, err := g.in.next()
 		if err != nil {
 			return nil, false, err
 		}
 		if !ok {
 			g.done = true
-			if g.cur == nil {
-				return nil, false, nil
+			if g.cur != nil {
+				g.emit()
 			}
-			return g.emit(), true, nil
+			break
 		}
 		if g.cur == nil {
 			g.start(row)
@@ -122,30 +145,36 @@ func (g *SortGroupBy) Next() (Row, bool, error) {
 			}
 			continue
 		}
-		out := g.emit()
+		g.emit()
 		g.start(row)
-		return out, true, nil
 	}
+	if len(g.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &g.out, true, nil
 }
 
 func (g *SortGroupBy) start(row Row) {
 	g.cur = row
-	g.states = newAggStates(g.aggs, g.schema)
+	g.states = newAggStates(g.aggs, g.aggPos)
 	for i := range g.states {
 		g.states[i].add(row)
 	}
 }
 
-func (g *SortGroupBy) emit() Row {
-	out := make(Row, 0, len(g.groupPos)+len(g.states))
-	for _, p := range g.groupPos {
-		out = append(out, g.cur[p])
+func (g *SortGroupBy) emit() {
+	w := len(g.groupPos) + len(g.states)
+	out := g.out.alloc(w, w*g.size)
+	for i, p := range g.groupPos {
+		out[i] = g.cur[p]
 	}
 	for i := range g.states {
-		out = append(out, g.states[i].value())
+		out[len(g.groupPos)+i] = g.states[i].value()
 	}
-	return out
 }
+
+// Next returns the next completed group.
+func (g *SortGroupBy) Next() (Row, bool, error) { return g.ra.next(g) }
 
 // Close closes the input.
 func (g *SortGroupBy) Close() error { return g.In.Close() }
@@ -155,23 +184,33 @@ func (g *SortGroupBy) Close() error { return g.In.Close() }
 type HashGroupBy struct {
 	// In is the input stream.
 	In Iterator
+	// SizeHint pre-sizes the group hash table; the plan builder sets it
+	// from the optimizer's output-cardinality estimate.
+	SizeHint int
 
 	groupPos []int
 	aggs     []rel.Agg
-	schema   *Schema
+	aggPos   []int
+	size     int
 
 	out  []Row
 	next int
+	view Batch
+	ra   rowAdapter
 }
 
-// NewHashGroupBy resolves grouping columns against the input schema.
+// NewHashGroupBy resolves grouping columns and aggregate arguments
+// against the input schema.
 func NewHashGroupBy(in Iterator, schema *Schema, groupCols []rel.ColID, aggs []rel.Agg) *HashGroupBy {
-	g := &HashGroupBy{In: in, aggs: aggs, schema: schema}
+	g := &HashGroupBy{In: in, aggs: aggs, aggPos: aggPositions(aggs, schema), size: DefaultBatchSize}
 	for _, c := range groupCols {
 		g.groupPos = append(g.groupPos, schema.Pos(c))
 	}
 	return g
 }
+
+// SetBatchSize sets the rows per batch.
+func (g *HashGroupBy) SetBatchSize(n int) { g.size = sizeOrDefault(n) }
 
 // Open drains the input into the hash table and materializes the groups.
 func (g *HashGroupBy) Open() error {
@@ -182,35 +221,68 @@ func (g *HashGroupBy) Open() error {
 		key    Row
 		states []aggState
 	}
-	table := make(map[string]*entry)
-	for {
-		row, ok, err := g.In.Next()
-		if err != nil {
-			return err
+	entries := make([]entry, 0, g.SizeHint)
+	in := newCursor(asBatch(g.In))
+	if len(g.groupPos) == 1 {
+		// Single grouping column: key the table on the value itself.
+		// This is the common case and avoids building a string key per
+		// input row.
+		p := g.groupPos[0]
+		idx := make(map[int64]int32, g.SizeHint)
+		for {
+			row, ok, err := in.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			k := row[p]
+			i, ok := idx[k]
+			if !ok {
+				i = int32(len(entries))
+				entries = append(entries, entry{key: Row{k}, states: newAggStates(g.aggs, g.aggPos)})
+				idx[k] = i
+			}
+			states := entries[i].states
+			for j := range states {
+				states[j].add(row)
+			}
 		}
-		if !ok {
-			break
-		}
+	} else {
+		idx := make(map[string]int32, g.SizeHint)
 		key := make(Row, len(g.groupPos))
-		for i, p := range g.groupPos {
-			key[i] = row[p]
-		}
-		ks := rowKey(key)
-		e := table[ks]
-		if e == nil {
-			e = &entry{key: key, states: newAggStates(g.aggs, g.schema)}
-			table[ks] = e
-		}
-		for i := range e.states {
-			e.states[i].add(row)
+		for {
+			row, ok, err := in.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for i, p := range g.groupPos {
+				key[i] = row[p]
+			}
+			ks := rowKey(key)
+			i, ok := idx[ks]
+			if !ok {
+				i = int32(len(entries))
+				entries = append(entries, entry{key: key.Clone(), states: newAggStates(g.aggs, g.aggPos)})
+				idx[ks] = i
+			}
+			states := entries[i].states
+			for j := range states {
+				states[j].add(row)
+			}
 		}
 	}
 	g.out = g.out[:0]
-	for _, e := range table {
+	for i := range entries {
+		e := &entries[i]
 		row := make(Row, 0, len(e.key)+len(e.states))
 		row = append(row, e.key...)
-		for i := range e.states {
-			row = append(row, e.states[i].value())
+		for j := range e.states {
+			row = append(row, e.states[j].value())
 		}
 		g.out = append(g.out, row)
 	}
@@ -220,18 +292,27 @@ func (g *HashGroupBy) Open() error {
 	}
 	sort.Slice(g.out, func(i, j int) bool { return cmpRows(g.out[i], g.out[j], order) < 0 })
 	g.next = 0
+	g.ra.reset()
 	return nil
 }
 
-// Next returns the next group.
-func (g *HashGroupBy) Next() (Row, bool, error) {
+// NextBatch returns the next batch of groups as a view over the
+// materialized output.
+func (g *HashGroupBy) NextBatch() (*Batch, bool, error) {
 	if g.next >= len(g.out) {
 		return nil, false, nil
 	}
-	r := g.out[g.next]
-	g.next++
-	return r, true, nil
+	end := g.next + g.size
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	g.view.Rows = g.out[g.next:end]
+	g.next = end
+	return &g.view, true, nil
 }
+
+// Next returns the next group.
+func (g *HashGroupBy) Next() (Row, bool, error) { return g.ra.next(g) }
 
 // Close releases the groups and closes the input.
 func (g *HashGroupBy) Close() error {

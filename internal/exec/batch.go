@@ -1,0 +1,197 @@
+package exec
+
+// The batch protocol. Every operator in this package is batch-native:
+// its NextBatch method moves up to BatchSize rows per call, so the
+// per-row interface-dispatch and allocation costs of the classic
+// open/next/close loop are amortized across a whole batch. The
+// row-at-a-time Iterator interface remains fully supported — each
+// operator's Next method is a thin adapter draining its current batch —
+// so existing callers and a batch-size-1 configuration (which reproduces
+// the seed interpreter's one-call-one-row cost shape exactly) keep
+// working.
+//
+// Lifetime contract: the *Batch returned by NextBatch, and its Rows
+// header slice, are valid only until the next NextBatch or Close call on
+// the same operator. The row *data* the headers point at is never
+// reused: it lives in stored tables, materialized operator state, or
+// append-only arenas. A consumer that retains rows across batch
+// boundaries therefore only needs to copy the Row headers (cheap slice
+// headers), never the values.
+
+// DefaultBatchSize is the target rows per batch.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of data flow: a reusable vector of rows. The Rows
+// header slice is recycled across NextBatch calls; value storage
+// allocated through alloc is append-only and stays valid forever.
+type Batch struct {
+	// Rows are the batch's tuples, valid until the producing operator's
+	// next NextBatch call.
+	Rows []Row
+
+	arena []int64
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return len(b.Rows) }
+
+// reset recycles the Rows header for a new batch. The arena is kept:
+// previously allocated row data is never overwritten, only the unused
+// capacity beyond it is carved further.
+func (b *Batch) reset() { b.Rows = b.Rows[:0] }
+
+// add appends an existing row (header copy only).
+func (b *Batch) add(r Row) { b.Rows = append(b.Rows, r) }
+
+// alloc appends a fresh zero row of the given width, carving it from the
+// batch's arena. chunk sizes arena refills (typically width×BatchSize),
+// so a full batch of new rows costs one allocation instead of one per
+// row. Arena memory is never rewound, so rows stay valid after reset.
+func (b *Batch) alloc(width, chunk int) Row {
+	if cap(b.arena)-len(b.arena) < width {
+		if chunk < width {
+			chunk = width
+		}
+		b.arena = make([]int64, 0, chunk)
+	}
+	off := len(b.arena)
+	b.arena = b.arena[:off+width]
+	r := Row(b.arena[off : off+width : off+width])
+	b.Rows = append(b.Rows, r)
+	return r
+}
+
+// BatchIterator is the batched Volcano iterator interface: open once,
+// pull batches until ok is false, close. See the package-level lifetime
+// contract for how long a returned batch stays valid.
+type BatchIterator interface {
+	// Open prepares the iterator for producing batches.
+	Open() error
+	// NextBatch returns the next batch of rows; ok is false at end of
+	// stream. The returned batch is valid until the next call.
+	NextBatch() (b *Batch, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// asBatch promotes any Iterator to the batch protocol: operators from
+// this package are returned as themselves, foreign row-at-a-time
+// iterators are wrapped in a batching adapter.
+func asBatch(it Iterator) BatchIterator {
+	if bi, ok := it.(BatchIterator); ok {
+		return bi
+	}
+	return &iterBatch{it: it, size: DefaultBatchSize}
+}
+
+// iterBatch adapts a row-at-a-time Iterator into a BatchIterator by
+// buffering rows into a reusable batch.
+type iterBatch struct {
+	it   Iterator
+	size int
+	out  Batch
+}
+
+func (a *iterBatch) Open() error { return a.it.Open() }
+
+func (a *iterBatch) NextBatch() (*Batch, bool, error) {
+	a.out.reset()
+	for len(a.out.Rows) < a.size {
+		row, ok, err := a.it.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		a.out.add(row)
+	}
+	if len(a.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &a.out, true, nil
+}
+
+func (a *iterBatch) Close() error { return a.it.Close() }
+
+// rowAdapter implements an operator's row-at-a-time Next on top of its
+// own NextBatch: it drains the current batch one row per call and pulls
+// the next batch when exhausted. Operators embed one and reset it in
+// Open. Mixing Next and NextBatch calls on the same operator is not
+// supported.
+type rowAdapter struct {
+	b *Batch
+	i int
+}
+
+func (r *rowAdapter) reset() { r.b, r.i = nil, 0 }
+
+func (r *rowAdapter) next(bi BatchIterator) (Row, bool, error) {
+	for {
+		if r.b != nil && r.i < len(r.b.Rows) {
+			row := r.b.Rows[r.i]
+			r.i++
+			return row, true, nil
+		}
+		b, ok, err := bi.NextBatch()
+		if err != nil || !ok {
+			r.b = nil
+			return nil, false, err
+		}
+		r.b, r.i = b, 0
+	}
+}
+
+// cursor is the inlined consumption side of the batch protocol: a
+// row-level view over a BatchIterator whose per-row advance is a
+// concrete-type method (no interface dispatch) indexing the current
+// batch. Operators with inherently row-structured logic (merge join,
+// merge set operations, sorted grouping) consume their inputs through
+// cursors, paying one interface call per batch instead of per row.
+type cursor struct {
+	src  BatchIterator
+	b    *Batch
+	i    int
+	done bool
+}
+
+func newCursor(src BatchIterator) cursor { return cursor{src: src} }
+
+func (c *cursor) reset(src BatchIterator) { *c = cursor{src: src} }
+
+// next returns the next row; ok is false at end of stream.
+func (c *cursor) next() (Row, bool, error) {
+	for {
+		if c.b != nil && c.i < len(c.b.Rows) {
+			row := c.b.Rows[c.i]
+			c.i++
+			return row, true, nil
+		}
+		if c.done {
+			return nil, false, nil
+		}
+		b, ok, err := c.src.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			c.done = true
+			return nil, false, nil
+		}
+		c.b, c.i = b, 0
+	}
+}
+
+// batchSized is implemented by every operator in this package; the plan
+// builder uses it to propagate the configured batch size down a tree.
+type batchSized interface {
+	SetBatchSize(n int)
+}
+
+// sizeOrDefault normalizes a configured batch size.
+func sizeOrDefault(n int) int {
+	if n <= 0 {
+		return DefaultBatchSize
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -8,12 +9,28 @@ import (
 	"repro/internal/relopt"
 )
 
+// Options configures plan execution.
+type Options struct {
+	// BatchSize is the rows moved per operator call; zero means
+	// DefaultBatchSize. Size 1 with NoFusion reproduces the
+	// row-at-a-time engine's cost shape exactly.
+	BatchSize int
+	// ExchangeWorkers is the number of producer goroutines per exchange
+	// operator; zero means the exchange's partitioning degree. Multiple
+	// producers require a stripe-safe input subplan (scan, filter,
+	// project, sort chains); other inputs fall back to one producer.
+	ExchangeWorkers int
+	// NoFusion disables scan-filter fusion, keeping every operator
+	// boundary a data transfer (the row-engine A/B baseline).
+	NoFusion bool
+}
+
 // BuildPlan translates an optimizer plan into an iterator tree over the
 // database. Partitioned plans (delivered partitioning from the parallel
 // model) are instantiated once per partition and merged by a Gather
 // operator running the partitions in parallel goroutines.
 func BuildPlan(db *DB, plan *core.Plan) (Iterator, *Schema, error) {
-	return BuildPlanParams(db, plan, nil)
+	return BuildPlanOpts(nil, db, plan, nil, Options{})
 }
 
 // BuildPlanParams is BuildPlan for incompletely specified queries:
@@ -21,7 +38,13 @@ func BuildPlan(db *DB, plan *core.Plan) (Iterator, *Schema, error) {
 // (1-based indexes), and choose-plan nodes select their alternative
 // using the bound values before any iterator is constructed.
 func BuildPlanParams(db *DB, plan *core.Plan, params []int64) (Iterator, *Schema, error) {
-	b := &builder{db: db, exch: make(map[*core.Plan]exchEntry), params: params}
+	return BuildPlanOpts(nil, db, plan, params, Options{})
+}
+
+// BuildPlanOpts is the fully general entry point: a nil ctx means no
+// cancellation; opts tunes batch size, exchange parallelism, and fusion.
+func BuildPlanOpts(ctx context.Context, db *DB, plan *core.Plan, params []int64, opts Options) (Iterator, *Schema, error) {
+	b := &builder{db: db, ctx: ctx, opts: opts, exch: make(map[*core.Plan]exchEntry), params: params}
 	if part := deliveredPart(plan); part.Kind == relopt.PartHash {
 		parts := make([]Iterator, part.Degree)
 		var schema *Schema
@@ -31,6 +54,12 @@ func BuildPlanParams(db *DB, plan *core.Plan, params []int64) (Iterator, *Schema
 				return nil, nil, err
 			}
 			parts[i], schema = it, s
+		}
+		// A sorted partitioned plan merges order-preservingly.
+		if keys := sortKeysFor(plan, schema); len(keys) > 0 {
+			g := NewGatherOrdered(parts, keys)
+			g.SetBatchSize(opts.BatchSize)
+			return g, schema, nil
 		}
 		return NewGather(parts), schema, nil
 	}
@@ -44,11 +73,16 @@ func Run(db *DB, plan *core.Plan) ([]Row, *Schema, error) {
 
 // RunParams builds and drains a plan with bound parameters.
 func RunParams(db *DB, plan *core.Plan, params []int64) ([]Row, *Schema, error) {
-	it, schema, err := BuildPlanParams(db, plan, params)
+	return RunOpts(nil, db, plan, params, Options{})
+}
+
+// RunOpts builds and drains a plan under a context and execution options.
+func RunOpts(ctx context.Context, db *DB, plan *core.Plan, params []int64, opts Options) ([]Row, *Schema, error) {
+	it, schema, err := BuildPlanOpts(ctx, db, plan, params, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := Collect(it)
+	rows, err := CollectSized(it, rowsHint(plan))
 	return rows, schema, err
 }
 
@@ -59,16 +93,79 @@ func deliveredPart(plan *core.Plan) relopt.Partitioning {
 	return relopt.Partitioning{}
 }
 
+// sortKeysFor resolves the plan's delivered sort order against the
+// physical schema; nil when the plan is unsorted (or a sort column is
+// not in the output).
+func sortKeysFor(plan *core.Plan, s *Schema) []sortKey {
+	pp, ok := plan.Delivered.(*relopt.PhysProps)
+	if !ok || len(pp.Sort) == 0 {
+		return nil
+	}
+	keys := make([]sortKey, 0, len(pp.Sort))
+	for _, oc := range pp.Sort {
+		if !s.Has(oc.Col) {
+			return nil
+		}
+		keys = append(keys, sortKey{pos: s.Pos(oc.Col), desc: oc.Desc})
+	}
+	return keys
+}
+
+// rowsHint converts a node's estimated output cardinality into a hash
+// table pre-size; zero when no estimate is available.
+func rowsHint(plan *core.Plan) int {
+	if props, ok := plan.LogProps.(*rel.Props); ok {
+		if n := int(props.Rows); n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// distinctHint estimates the distinct values of one column in a plan's
+// output (0 = unknown).
+func distinctHint(plan *core.Plan, col rel.ColID) int {
+	if props, ok := plan.LogProps.(*rel.Props); ok {
+		if st, ok := props.Stats[col]; ok {
+			if n := int(st.Distinct); n > 0 {
+				return n
+			}
+		}
+	}
+	return 0
+}
+
+// stripeSafe reports whether a subplan may be instantiated once per
+// exchange producer with striped base scans: together the stripes
+// produce exactly the serial subplan's multiset. True only for unary
+// multiset-preserving chains over a single scan; joins, grouping, and
+// set operations (whose instances would recompute, not partition) are
+// excluded.
+func stripeSafe(plan *core.Plan) bool {
+	switch plan.Op.(type) {
+	case *relopt.FileScan:
+		return true
+	case *relopt.Filter, *relopt.ProjectOp, *relopt.Sort:
+		return stripeSafe(plan.Inputs[0])
+	}
+	return false
+}
+
 type builder struct {
-	db *DB
+	db   *DB
+	ctx  context.Context
+	opts Options
 	// exch holds the shared streaming state of each exchange node,
-	// one producer per node regardless of how many partition
+	// one producer set per node regardless of how many partition
 	// instances consume it. The physical schema is cached with it: a
 	// commuted join's row layout can differ from the logical column
 	// order of its equivalence class.
 	exch map[*core.Plan]exchEntry
 	// params are the runtime values bound to parameterized predicates.
 	params []int64
+	// stripe/stripes restrict base scans while building one exchange
+	// producer's subplan instance.
+	stripe, stripes int
 }
 
 type exchEntry struct {
@@ -113,9 +210,29 @@ func groupSchema(cols []rel.ColID, aggs int) *Schema {
 	return NewSchema(all)
 }
 
-// build constructs the iterator for one plan node. part is the partition
-// index being instantiated, or -1 for serial execution.
+// build constructs and configures the iterator for one plan node.
 func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
+	it, s, err := b.buildNode(plan, part)
+	if err != nil {
+		return nil, nil, err
+	}
+	if b.opts.BatchSize > 0 {
+		if bs, ok := it.(batchSized); ok {
+			bs.SetBatchSize(b.opts.BatchSize)
+		}
+	}
+	if f, ok := it.(*Filter); ok && b.opts.NoFusion {
+		f.SetFusion(false)
+	}
+	if scan, ok := it.(*TableScan); ok && b.ctx != nil {
+		scan.SetContext(b.ctx)
+	}
+	return it, s, nil
+}
+
+// buildNode constructs the iterator for one plan node. part is the
+// partition index being instantiated, or -1 for serial execution.
+func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error) {
 	schema := schemaFor(plan)
 	switch op := plan.Op.(type) {
 	case *relopt.FileScan:
@@ -123,7 +240,11 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 		if t == nil {
 			return nil, nil, fmt.Errorf("exec: table %q not loaded", op.Tab.Name)
 		}
-		return NewTableScan(t), t.Schema, nil
+		scan := NewTableScan(t)
+		if b.stripes > 1 {
+			scan.SetStripe(b.stripe, b.stripes)
+		}
+		return scan, t.Schema, nil
 
 	case *relopt.Filter:
 		in, ins, err := b.build(plan.Inputs[0], part)
@@ -206,7 +327,9 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return NewHashUnion(l, r), ls, nil
+		u := NewHashUnion(l, r)
+		u.SizeHint = rowsHint(plan)
+		return u, ls, nil
 
 	case *relopt.HashIntersect:
 		l, ls, err := b.build(plan.Inputs[0], part)
@@ -217,7 +340,9 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return NewHashIntersect(l, r), ls, nil
+		x := NewHashIntersect(l, r)
+		x.SizeHint = rowsHint(plan.Inputs[0])
+		return x, ls, nil
 
 	case *relopt.SortGroupBy:
 		in, ins, err := b.build(plan.Inputs[0], part)
@@ -231,7 +356,9 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return NewHashGroupBy(in, ins, op.GroupCols, op.Aggs), schema, nil
+		g := NewHashGroupBy(in, ins, op.GroupCols, op.Aggs)
+		g.SizeHint = rowsHint(plan)
+		return g, schema, nil
 
 	case *relopt.ChoosePlan:
 		// Dynamic plan: pick the alternative for the bound parameter,
@@ -248,22 +375,51 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 		}
 		e, ok := b.exch[plan]
 		if !ok {
-			// Build the serial input once; every partition instance
-			// shares the producer that drains it.
-			child, ins, err := b.build(plan.Inputs[0], -1)
-			if err != nil {
+			var err error
+			if e, err = b.buildExchange(plan, op); err != nil {
 				return nil, nil, err
-			}
-			e = exchEntry{
-				state: newExchangeState(op.Part.Degree, ins.Pos(op.Part.Col),
-					func() (Iterator, error) { return child, nil }),
-				schema: ins,
 			}
 			b.exch[plan] = e
 		}
-		return &exchangePort{st: e.state, part: part}, e.schema, nil
+		return e.state.port(part), e.schema, nil
 	}
 	return nil, nil, fmt.Errorf("exec: no runtime for physical operator %T", plan.Op)
+}
+
+// buildExchange constructs an exchange node's shared state: its producer
+// instances (striped over the base table when the input subplan is
+// stripe-safe, a single serial instance otherwise) and routing queues.
+func (b *builder) buildExchange(plan *core.Plan, op *relopt.Exchange) (exchEntry, error) {
+	child := plan.Inputs[0]
+	workers := 1
+	if stripeSafe(child) {
+		workers = b.opts.ExchangeWorkers
+		if workers <= 0 {
+			workers = op.Part.Degree
+		}
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	producers := make([]Iterator, workers)
+	var ins *Schema
+	for p := 0; p < workers; p++ {
+		b.stripe, b.stripes = p, workers
+		it, s, err := b.build(child, -1)
+		b.stripe, b.stripes = 0, 0
+		if err != nil {
+			return exchEntry{}, err
+		}
+		producers[p], ins = it, s
+	}
+	// Multi-producer exchanges over a sorted input merge
+	// order-preservingly per partition.
+	var keys []sortKey
+	if workers > 1 {
+		keys = sortKeysFor(child, ins)
+	}
+	st := newExchangeState(b.ctx, op.Part.Degree, ins.Pos(op.Part.Col), b.opts.BatchSize, keys, producers)
+	return exchEntry{state: st, schema: ins}, nil
 }
 
 // buildJoin assembles merge- or hash-join with the optional fused
@@ -290,7 +446,10 @@ func (b *builder) buildJoin(plan *core.Plan, part int, lcol, rcol rel.ColID, pro
 	if merge {
 		return NewMergeJoin(l, r, ls, rs, lp, rp, proj), out, nil
 	}
-	return NewHashJoin(l, r, ls, rs, lp, rp, proj), out, nil
+	hj := NewHashJoin(l, r, ls, rs, lp, rp, proj)
+	hj.BuildHint = rowsHint(plan.Inputs[0])
+	hj.KeyHint = distinctHint(plan.Inputs[0], lcol)
+	return hj, out, nil
 }
 
 func joined(l, r *Schema) *Schema {

@@ -70,6 +70,24 @@ type Table struct {
 	Rows []Row
 }
 
+// compact rewrites the table's row storage into one contiguous slab in
+// scan order. Loaded rows arrive as individually allocated slices in
+// whatever order the loader produced them; after sorting into clustered
+// order a scan would chase pointers all over the heap. The slab makes a
+// full scan a sequential sweep and frees the per-row allocations.
+func (t *Table) compact() {
+	width := 0
+	for _, r := range t.Rows {
+		width += len(r)
+	}
+	slab := make([]int64, 0, width)
+	for i, r := range t.Rows {
+		off := len(slab)
+		slab = append(slab, r...)
+		t.Rows[i] = Row(slab[off:len(slab):len(slab)])
+	}
+}
+
 // DB holds the stored relations of a database instance.
 type DB struct {
 	tables map[string]*Table
@@ -113,6 +131,7 @@ func FromData(cat *rel.Catalog, data map[string][][]int64) *DB {
 				return false
 			})
 		}
+		tab.compact()
 		db.Add(tab)
 	}
 	return db
@@ -120,7 +139,9 @@ func FromData(cat *rel.Catalog, data map[string][][]int64) *DB {
 
 // Iterator is the Volcano iterator interface: every query processing
 // algorithm consumes zero or more input iterators and produces a stream
-// of rows.
+// of rows. Every operator in this package is batch-native (see
+// BatchIterator); this row-at-a-time view is a thin adapter over the
+// operator's current batch.
 type Iterator interface {
 	// Open prepares the iterator for producing rows.
 	Open() error
@@ -130,17 +151,51 @@ type Iterator interface {
 	Close() error
 }
 
-// Collect drains an iterator into a slice, handling open and close.
-func Collect(it Iterator) ([]Row, error) {
+// Collect drains an iterator into a slice, handling open and close. A
+// Close error surfaces when the drain itself succeeded.
+func Collect(it Iterator) ([]Row, error) { return CollectSized(it, 0) }
+
+// collectCap bounds how much a cardinality estimate may pre-allocate:
+// a wildly high estimate must not pin hundreds of megabytes for a
+// query that returns ten rows.
+const collectCap = 1 << 22
+
+// CollectSized is Collect with a result-cardinality hint (0 = unknown),
+// typically the optimizer's estimate for the plan root. A good hint
+// replaces the O(log n) re-grow-and-copy cycles of a growing result
+// slice with a single allocation; a bad hint costs only the difference
+// in slice capacity.
+func CollectSized(it Iterator, sizeHint int) (out []Row, err error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	var out []Row
+	if sizeHint > 0 {
+		if sizeHint > collectCap {
+			sizeHint = collectCap
+		}
+		out = make([]Row, 0, sizeHint)
+	}
+	defer func() {
+		if cerr := it.Close(); err == nil && cerr != nil {
+			out, err = nil, cerr
+		}
+	}()
+	if bi, ok := it.(BatchIterator); ok {
+		for {
+			b, ok, berr := bi.NextBatch()
+			if berr != nil {
+				return nil, berr
+			}
+			if !ok {
+				return out, nil
+			}
+			out = append(out, b.Rows...)
+		}
+	}
 	for {
-		row, ok, err := it.Next()
-		if err != nil {
-			return nil, err
+		row, ok, nerr := it.Next()
+		if nerr != nil {
+			return nil, nerr
 		}
 		if !ok {
 			return out, nil

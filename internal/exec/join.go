@@ -2,15 +2,18 @@ package exec
 
 // MergeJoin joins two streams sorted ascending on the join columns,
 // buffering the groups of equal keys on both sides so duplicate keys
-// produce the full cross product.
+// produce the full cross product. Inputs are consumed through batch
+// cursors; joined rows are emitted in batches from an append-only arena.
 type MergeJoin struct {
 	// Left and Right are the sorted input streams.
 	Left, Right Iterator
 
 	lpos, rpos int
 	proj       []int // output positions into left++right; nil = all
+	lwidth     int
+	size       int
 
-	lwidth int
+	lc, rc cursor
 	lgroup []Row
 	rgroup []Row
 	li, ri int
@@ -18,6 +21,8 @@ type MergeJoin struct {
 	rrow   Row
 	ldone  bool
 	rdone  bool
+	out    Batch
+	ra     rowAdapter
 }
 
 // NewMergeJoin resolves join columns (and an optional fused projection)
@@ -29,8 +34,12 @@ func NewMergeJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int
 		lpos: lcol, rpos: rcol,
 		proj:   proj,
 		lwidth: lschema.Width(),
+		size:   DefaultBatchSize,
 	}
 }
+
+// SetBatchSize sets the rows per batch.
+func (m *MergeJoin) SetBatchSize(n int) { m.size = sizeOrDefault(n) }
 
 // Open opens both inputs and primes the merge.
 func (m *MergeJoin) Open() error {
@@ -40,9 +49,12 @@ func (m *MergeJoin) Open() error {
 	if err := m.Right.Open(); err != nil {
 		return err
 	}
+	m.lc.reset(asBatch(m.Left))
+	m.rc.reset(asBatch(m.Right))
 	m.lgroup, m.rgroup = nil, nil
 	m.li, m.ri = 0, 0
 	m.ldone, m.rdone = false, false
+	m.ra.reset()
 	var err error
 	m.lrow, err = m.advanceLeft()
 	if err != nil {
@@ -53,7 +65,7 @@ func (m *MergeJoin) Open() error {
 }
 
 func (m *MergeJoin) advanceLeft() (Row, error) {
-	row, ok, err := m.Left.Next()
+	row, ok, err := m.lc.next()
 	if err != nil {
 		return nil, err
 	}
@@ -65,7 +77,7 @@ func (m *MergeJoin) advanceLeft() (Row, error) {
 }
 
 func (m *MergeJoin) advanceRight() (Row, error) {
-	row, ok, err := m.Right.Next()
+	row, ok, err := m.rc.next()
 	if err != nil {
 		return nil, err
 	}
@@ -76,26 +88,31 @@ func (m *MergeJoin) advanceRight() (Row, error) {
 	return row, nil
 }
 
-// Next returns the next joined row.
-func (m *MergeJoin) Next() (Row, bool, error) {
-	for {
+// NextBatch returns the next batch of joined rows.
+func (m *MergeJoin) NextBatch() (*Batch, bool, error) {
+	m.out.reset()
+	for len(m.out.Rows) < m.size {
 		// Emit from buffered groups first.
 		if m.li < len(m.lgroup) {
-			out := m.combine(m.lgroup[m.li], m.rgroup[m.ri])
+			m.combine(m.lgroup[m.li], m.rgroup[m.ri])
 			m.ri++
 			if m.ri == len(m.rgroup) {
 				m.ri = 0
 				m.li++
 			}
-			return out, true, nil
+			continue
 		}
 		m.lgroup, m.rgroup = m.lgroup[:0], m.rgroup[:0]
 		m.li, m.ri = 0, 0
 
 		// Align the inputs on the next matching key.
-		for {
+		aligned := false
+		for !aligned {
 			if m.ldone || m.rdone {
-				return nil, false, nil
+				if len(m.out.Rows) == 0 {
+					return nil, false, nil
+				}
+				return &m.out, true, nil
 			}
 			lk, rk := m.lrow[m.lpos], m.rrow[m.rpos]
 			if lk < rk {
@@ -128,24 +145,39 @@ func (m *MergeJoin) Next() (Row, bool, error) {
 					return nil, false, err
 				}
 			}
-			break
+			aligned = true
+		}
+	}
+	return &m.out, true, nil
+}
+
+func (m *MergeJoin) combine(l, r Row) {
+	combineInto(&m.out, l, r, m.proj, m.size)
+}
+
+// combineInto appends the concatenation of l and r (optionally projected
+// to proj positions) to the batch, carving from its arena.
+func combineInto(out *Batch, l, r Row, proj []int, size int) {
+	if proj == nil {
+		w := len(l) + len(r)
+		row := out.alloc(w, w*size)
+		copy(row, l)
+		copy(row[len(l):], r)
+		return
+	}
+	w := len(proj)
+	row := out.alloc(w, w*size)
+	for i, p := range proj {
+		if p < len(l) {
+			row[i] = l[p]
+		} else {
+			row[i] = r[p-len(l)]
 		}
 	}
 }
 
-func (m *MergeJoin) combine(l, r Row) Row {
-	out := make(Row, 0, m.lwidth+len(r))
-	out = append(out, l...)
-	out = append(out, r...)
-	if m.proj != nil {
-		proj := make(Row, len(m.proj))
-		for i, p := range m.proj {
-			proj[i] = out[p]
-		}
-		return proj
-	}
-	return out
-}
+// Next returns the next joined row.
+func (m *MergeJoin) Next() (Row, bool, error) { return m.ra.next(m) }
 
 // Close closes both inputs.
 func (m *MergeJoin) Close() error {
@@ -157,19 +189,116 @@ func (m *MergeJoin) Close() error {
 }
 
 // HashJoin is hybrid hash join without partition files: the left input
-// builds an in-memory table, the right input probes.
+// builds an in-memory table, the right input probes batch by batch.
 type HashJoin struct {
 	// Left and Right are the input streams; Left builds.
 	Left, Right Iterator
+	// BuildHint pre-sizes the build hash table; the plan builder sets it
+	// from the optimizer's cardinality estimate so the table is
+	// allocated once instead of grown from empty.
+	BuildHint int
+	// KeyHint estimates the distinct join keys on the build side. The
+	// key index needs slots per key, not per row, so a duplicate-heavy
+	// build gets a table sized (and cache-footprinted) by its key count.
+	KeyHint int
 
 	lpos, rpos int
 	proj       []int
 	lwidth     int
+	size       int
 
-	table map[int64][]Row
+	// The build side is an array-chained hash table: rows holds every
+	// build row, head is an open-addressed index from key to the newest
+	// row with that key, and chain links rows sharing a key (-1 ends a
+	// chain). Flat slices instead of a map[int64][]Row keep the build to
+	// three allocations and make probes a couple of array reads.
+	right BatchIterator
+	rows  []Row
+	head  joinTable
+	chain []int32
+	pb    *Batch  // current probe batch
+	hits  []int32 // per probe-batch row: initial chain position
+	pi    int
+	hit   int32 // current chain position; -1 = exhausted
 	probe Row
-	hits  []Row
-	hit   int
+	out   Batch
+	ra    rowAdapter
+}
+
+// joinTable is a linear-probing hash index from int64 join keys to row
+// indices, sized to a power of two at no more than half load. A key and
+// its row reference share one 16-byte slot, so a probe touches a single
+// cache line; ref 0 means empty (stored indices are offset by one), so
+// a fresh table needs no initialization pass — the runtime's zeroed
+// allocation is already the empty state.
+type joinTable struct {
+	slots []joinSlot
+	mask  uint64
+	shift uint
+}
+
+type joinSlot struct {
+	key int64
+	ref int32 // row index + 1; 0 = empty
+}
+
+func newJoinTable(capacity int) joinTable {
+	size, bits := 16, uint(4)
+	for size < 2*capacity {
+		size *= 2
+		bits++
+	}
+	return joinTable{slots: make([]joinSlot, size), mask: uint64(size - 1), shift: 64 - bits}
+}
+
+// hash mixes the key multiplicatively and keeps the high bits, which
+// carry the most entropy, so consecutive join values spread across slots
+// (fibonacci hashing).
+func (t *joinTable) hash(k int64) uint64 {
+	return (uint64(k) * 0x9e3779b97f4a7c15) >> t.shift
+}
+
+// get returns the row index stored for k, or -1.
+func (t *joinTable) get(k int64) int32 {
+	for s := t.hash(k); ; s = (s + 1) & t.mask {
+		sl := &t.slots[s]
+		if sl.ref == 0 {
+			return -1
+		} else if sl.key == k {
+			return sl.ref - 1
+		}
+	}
+}
+
+// put stores idx for k, returning the previous index for the key (-1 if
+// new) and growing when the table passes half load. The caller counts
+// insertions and calls grow; put itself assumes a free slot exists.
+func (t *joinTable) put(k int64, idx int32) int32 {
+	for s := t.hash(k); ; s = (s + 1) & t.mask {
+		sl := &t.slots[s]
+		if sl.ref == 0 {
+			sl.key, sl.ref = k, idx+1
+			return -1
+		} else if sl.key == k {
+			prev := sl.ref - 1
+			sl.ref = idx + 1
+			return prev
+		}
+	}
+}
+
+// grow doubles the table when load reaches half, rehashing every slot.
+func (t *joinTable) grow(entries int) {
+	if 2*entries < len(t.slots) {
+		return
+	}
+	old := *t
+	*t = newJoinTable(len(t.slots)) // newJoinTable doubles: size >= 2*cap
+	for _, sl := range old.slots {
+		if sl.ref != 0 {
+			t.put(sl.key, sl.ref-1)
+		}
+	}
 }
 
 // NewHashJoin resolves join columns (and an optional fused projection)
@@ -180,8 +309,12 @@ func NewHashJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int,
 		lpos: lcol, rpos: rcol,
 		proj:   proj,
 		lwidth: lschema.Width(),
+		size:   DefaultBatchSize,
 	}
 }
+
+// SetBatchSize sets the rows per batch.
+func (h *HashJoin) SetBatchSize(n int) { h.size = sizeOrDefault(n) }
 
 // Open builds the hash table from the left input.
 func (h *HashJoin) Open() error {
@@ -191,57 +324,87 @@ func (h *HashJoin) Open() error {
 	if err := h.Right.Open(); err != nil {
 		return err
 	}
-	h.table = make(map[int64][]Row)
-	h.probe, h.hits, h.hit = nil, nil, 0
+	h.right = asBatch(h.Right)
+	h.rows = make([]Row, 0, h.BuildHint)
+	tableHint := h.BuildHint
+	if h.KeyHint > 0 && h.KeyHint < tableHint {
+		tableHint = h.KeyHint
+	}
+	h.head = newJoinTable(tableHint)
+	h.chain = make([]int32, 0, h.BuildHint)
+	h.pb, h.pi, h.hit, h.probe = nil, 0, -1, nil
+	h.ra.reset()
+	build := asBatch(h.Left)
+	keys := 0
 	for {
-		row, ok, err := h.Left.Next()
+		b, ok, err := build.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
-		k := row[h.lpos]
-		h.table[k] = append(h.table[k], row)
+		for _, row := range b.Rows {
+			idx := int32(len(h.rows))
+			h.rows = append(h.rows, row)
+			h.head.grow(keys + 1)
+			if prev := h.head.put(row[h.lpos], idx); prev >= 0 {
+				h.chain = append(h.chain, prev)
+			} else {
+				h.chain = append(h.chain, -1)
+				keys++
+			}
+		}
 	}
-	return nil
+}
+
+// NextBatch returns the next batch of joined rows.
+func (h *HashJoin) NextBatch() (*Batch, bool, error) {
+	h.out.reset()
+	for len(h.out.Rows) < h.size {
+		if h.hit >= 0 {
+			combineInto(&h.out, h.rows[h.hit], h.probe, h.proj, h.size)
+			h.hit = h.chain[h.hit]
+			continue
+		}
+		if h.pb == nil || h.pi >= len(h.pb.Rows) {
+			b, ok, err := h.right.NextBatch()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				if len(h.out.Rows) == 0 {
+					return nil, false, nil
+				}
+				return &h.out, true, nil
+			}
+			h.pb, h.pi = b, 0
+			// Probe the whole batch up front: the lookups are
+			// independent, so a tight loop lets the out-of-order core
+			// overlap their cache misses instead of serializing one
+			// miss per emitted row.
+			if cap(h.hits) < len(b.Rows) {
+				h.hits = make([]int32, len(b.Rows))
+			}
+			h.hits = h.hits[:len(b.Rows)]
+			for i, row := range b.Rows {
+				h.hits[i] = h.head.get(row[h.rpos])
+			}
+		}
+		h.probe = h.pb.Rows[h.pi]
+		h.hit = h.hits[h.pi]
+		h.pi++
+	}
+	return &h.out, true, nil
 }
 
 // Next returns the next joined row.
-func (h *HashJoin) Next() (Row, bool, error) {
-	for {
-		if h.hit < len(h.hits) {
-			l := h.hits[h.hit]
-			h.hit++
-			return h.combine(l, h.probe), true, nil
-		}
-		row, ok, err := h.Right.Next()
-		if err != nil || !ok {
-			return nil, false, err
-		}
-		h.probe = row
-		h.hits = h.table[row[h.rpos]]
-		h.hit = 0
-	}
-}
-
-func (h *HashJoin) combine(l, r Row) Row {
-	out := make(Row, 0, h.lwidth+len(r))
-	out = append(out, l...)
-	out = append(out, r...)
-	if h.proj != nil {
-		proj := make(Row, len(h.proj))
-		for i, p := range h.proj {
-			proj[i] = out[p]
-		}
-		return proj
-	}
-	return out
-}
+func (h *HashJoin) Next() (Row, bool, error) { return h.ra.next(h) }
 
 // Close releases the hash table and closes both inputs.
 func (h *HashJoin) Close() error {
-	h.table = nil
+	h.rows, h.head, h.chain = nil, joinTable{}, nil
+	h.pb = nil
 	err := h.Left.Close()
 	if err2 := h.Right.Close(); err == nil {
 		err = err2
@@ -257,17 +420,25 @@ type NLJoin struct {
 
 	lpos, rpos int
 	lwidth     int
+	size       int
 
+	lc    cursor
 	inner []Row
 	lrow  Row
 	ri    int
 	ldone bool
+	out   Batch
+	ra    rowAdapter
 }
 
 // NewNLJoin resolves join columns against the input schemas.
 func NewNLJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int) *NLJoin {
-	return &NLJoin{Left: left, Right: right, lpos: lcol, rpos: rcol, lwidth: lschema.Width()}
+	return &NLJoin{Left: left, Right: right, lpos: lcol, rpos: rcol,
+		lwidth: lschema.Width(), size: DefaultBatchSize}
 }
+
+// SetBatchSize sets the rows per batch.
+func (n *NLJoin) SetBatchSize(s int) { n.size = sizeOrDefault(s) }
 
 // Open materializes the inner (right) input.
 func (n *NLJoin) Open() error {
@@ -277,51 +448,60 @@ func (n *NLJoin) Open() error {
 	if err := n.Right.Open(); err != nil {
 		return err
 	}
+	n.lc.reset(asBatch(n.Left))
 	n.inner = n.inner[:0]
 	n.lrow, n.ri, n.ldone = nil, 0, false
+	n.ra.reset()
+	inner := asBatch(n.Right)
 	for {
-		row, ok, err := n.Right.Next()
+		b, ok, err := inner.NextBatch()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			break
+			return nil
 		}
-		n.inner = append(n.inner, row)
+		n.inner = append(n.inner, b.Rows...)
 	}
-	return nil
 }
 
-// Next returns the next joined row.
-func (n *NLJoin) Next() (Row, bool, error) {
-	for {
+// NextBatch returns the next batch of joined rows.
+func (n *NLJoin) NextBatch() (*Batch, bool, error) {
+	n.out.reset()
+	for len(n.out.Rows) < n.size {
 		if n.lrow == nil {
 			if n.ldone {
-				return nil, false, nil
+				break
 			}
-			row, ok, err := n.Left.Next()
+			row, ok, err := n.lc.next()
 			if err != nil {
 				return nil, false, err
 			}
 			if !ok {
 				n.ldone = true
-				return nil, false, nil
+				break
 			}
 			n.lrow, n.ri = row, 0
 		}
-		for n.ri < len(n.inner) {
+		for n.ri < len(n.inner) && len(n.out.Rows) < n.size {
 			r := n.inner[n.ri]
 			n.ri++
 			if n.lrow[n.lpos] == r[n.rpos] {
-				out := make(Row, 0, n.lwidth+len(r))
-				out = append(out, n.lrow...)
-				out = append(out, r...)
-				return out, true, nil
+				combineInto(&n.out, n.lrow, r, nil, n.size)
 			}
 		}
-		n.lrow = nil
+		if n.ri >= len(n.inner) {
+			n.lrow = nil
+		}
 	}
+	if len(n.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &n.out, true, nil
 }
+
+// Next returns the next joined row.
+func (n *NLJoin) Next() (Row, bool, error) { return n.ra.next(n) }
 
 // Close releases the inner buffer and closes both inputs.
 func (n *NLJoin) Close() error {

@@ -1,11 +1,13 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/rel"
 	"repro/internal/relopt"
@@ -328,16 +330,14 @@ func TestExchangeStreams(t *testing.T) {
 	for i := range rows {
 		rows[i] = Row{int64(i)}
 	}
-	child := iterOf(rows...)
-	st := newExchangeState(4, 0, func() (Iterator, error) { return child, nil })
+	st := newExchangeState(nil, 4, 0, 0, nil, []Iterator{iterOf(rows...)})
 	var wg sync.WaitGroup
 	counts := make([]int, 4)
 	for p := 0; p < 4; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			port := &exchangePort{st: st, part: p}
-			out, err := Collect(port)
+			out, err := Collect(st.port(p))
 			if err != nil {
 				t.Errorf("partition %d: %v", p, err)
 				return
@@ -357,6 +357,74 @@ func TestExchangeStreams(t *testing.T) {
 	}
 }
 
+// TestExchangeMultiProducer: several producers routing into the same
+// partitions deliver each producer's rows exactly once.
+func TestExchangeMultiProducer(t *testing.T) {
+	producers := make([]Iterator, 3)
+	total := 0
+	for p := range producers {
+		rows := make([]Row, 500+100*p)
+		for i := range rows {
+			rows[i] = Row{int64(len(rows)*1000 + i)}
+		}
+		total += len(rows)
+		producers[p] = iterOf(rows...)
+	}
+	st := newExchangeState(nil, 2, 0, 64, nil, producers)
+	var wg sync.WaitGroup
+	counts := make([]int, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out, err := Collect(st.port(p))
+			if err != nil {
+				t.Errorf("partition %d: %v", p, err)
+				return
+			}
+			counts[p] = len(out)
+		}(p)
+	}
+	wg.Wait()
+	if counts[0]+counts[1] != total {
+		t.Fatalf("partitions delivered %d of %d rows", counts[0]+counts[1], total)
+	}
+}
+
+// TestExchangeOrderedMerge: a multi-producer exchange over sorted
+// producers preserves the order within every partition.
+func TestExchangeOrderedMerge(t *testing.T) {
+	producers := make([]Iterator, 2)
+	for p := range producers {
+		rows := make([]Row, 1000)
+		for i := range rows {
+			rows[i] = Row{int64(2*i + p)} // sorted ascending
+		}
+		producers[p] = iterOf(rows...)
+	}
+	keys := []sortKey{{pos: 0}}
+	st := newExchangeState(nil, 2, 0, 16, keys, producers)
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			out, err := Collect(st.port(p))
+			if err != nil {
+				t.Errorf("partition %d: %v", p, err)
+				return
+			}
+			if len(out) != 1000 {
+				t.Errorf("partition %d got %d rows, want 1000", p, len(out))
+			}
+			if !SortedBy(out, []int{0}) {
+				t.Errorf("partition %d not sorted", p)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
 // TestExchangeEarlyClose: closing one partition while others drain
 // completes without deadlock and still delivers the open partitions.
 func TestExchangeEarlyClose(t *testing.T) {
@@ -364,8 +432,8 @@ func TestExchangeEarlyClose(t *testing.T) {
 	for i := range rows {
 		rows[i] = Row{int64(i)}
 	}
-	st := newExchangeState(2, 0, func() (Iterator, error) { return iterOf(rows...), nil })
-	abandoned := &exchangePort{st: st, part: 0}
+	st := newExchangeState(nil, 2, 0, 0, nil, []Iterator{iterOf(rows...)})
+	abandoned := st.port(0)
 	if err := abandoned.Open(); err != nil {
 		t.Fatal(err)
 	}
@@ -374,8 +442,7 @@ func TestExchangeEarlyClose(t *testing.T) {
 	}
 	abandoned.Close() // stop consuming partition 0
 
-	kept := &exchangePort{st: st, part: 1}
-	out, err := Collect(kept)
+	out, err := Collect(st.port(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,16 +451,97 @@ func TestExchangeEarlyClose(t *testing.T) {
 	}
 }
 
-// TestExchangePropagatesChildError: a failing serial input surfaces on
-// every partition.
+// TestExchangePropagatesChildError: a failing input surfaces on every
+// partition.
 func TestExchangeErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
-	st := newExchangeState(2, 0, func() (Iterator, error) { return &sliceIter{err: boom}, nil })
+	st := newExchangeState(nil, 2, 0, 0, nil, []Iterator{&sliceIter{err: boom}})
 	for p := 0; p < 2; p++ {
-		port := &exchangePort{st: st, part: p}
-		if _, err := Collect(port); err == nil {
+		if _, err := Collect(st.port(p)); err == nil {
 			t.Fatalf("partition %d: error not propagated", p)
 		}
+	}
+}
+
+// trackIter counts how many rows were pulled from it and signals Close.
+type trackIter struct {
+	n      int64
+	next   int64
+	closed chan struct{}
+}
+
+func (c *trackIter) Open() error { c.next = 0; return nil }
+func (c *trackIter) Next() (Row, bool, error) {
+	if c.next >= c.n {
+		return nil, false, nil
+	}
+	c.next++
+	return Row{c.next - 1}, true, nil
+}
+func (c *trackIter) Close() error { close(c.closed); return nil }
+
+// TestExchangeProducerExitsWhenAllAbandoned: regression for the
+// producer-leak bug — once every partition consumer has closed, the
+// producer must exit promptly instead of draining its input to
+// end-of-stream.
+func TestExchangeProducerExitsWhenAllAbandoned(t *testing.T) {
+	child := &trackIter{n: 1_000_000, closed: make(chan struct{})}
+	st := newExchangeState(nil, 2, 0, 0, nil, []Iterator{child})
+	ports := []Iterator{st.port(0), st.port(1)}
+	for _, p := range ports {
+		if err := p.Open(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ports[0].Next(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ports {
+		p.Close()
+	}
+	select {
+	case <-child.closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer did not exit after all partitions closed")
+	}
+	if pulled := child.next; pulled >= child.n {
+		t.Fatalf("producer drained its child to end-of-stream (%d rows)", pulled)
+	}
+}
+
+// TestExchangeContextCancel: canceling the exchange's context while a
+// consumer is mid-stream tears the producers down and surfaces the
+// cancellation.
+func TestExchangeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	child := &trackIter{n: 1_000_000, closed: make(chan struct{})}
+	st := newExchangeState(ctx, 2, 0, 0, nil, []Iterator{child})
+	ports := []Iterator{st.port(0), st.port(1)}
+	for _, p := range ports {
+		if err := p.Open(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ports[0].Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Both ports must terminate (error or end-of-stream) rather than
+	// block forever; the producer must exit.
+	for i, p := range ports {
+		for {
+			_, ok, err := p.Next()
+			if err != nil || !ok {
+				break
+			}
+			_ = i
+		}
+		p.Close()
+	}
+	select {
+	case <-child.closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer did not exit after context cancel")
 	}
 }
 

@@ -144,6 +144,7 @@ func Reference(db *DB, t *core.ExprTree) ([]Row, *Schema, error) {
 			states []aggState
 		}
 		table := make(map[string]*entry)
+		aggPos := aggPositions(op.Aggs, schema)
 		for _, r := range rows {
 			key := make(Row, len(groupPos))
 			for i, p := range groupPos {
@@ -152,7 +153,7 @@ func Reference(db *DB, t *core.ExprTree) ([]Row, *Schema, error) {
 			ks := rowKey(key)
 			e := table[ks]
 			if e == nil {
-				e = &entry{key: key, states: newAggStates(op.Aggs, schema)}
+				e = &entry{key: key, states: newAggStates(op.Aggs, aggPos)}
 				table[ks] = e
 			}
 			for i := range e.states {

@@ -10,16 +10,23 @@ type MergeIntersect struct {
 	Left, Right Iterator
 
 	order []int // comparison positions, the shared sort order
+	size  int
 
+	lc, rc       cursor
 	lrow, rrow   Row
 	ldone, rdone bool
 	last         Row
+	out          Batch
+	ra           rowAdapter
 }
 
 // NewMergeIntersect takes the shared sort order as row positions.
 func NewMergeIntersect(left, right Iterator, order []int) *MergeIntersect {
-	return &MergeIntersect{Left: left, Right: right, order: order}
+	return &MergeIntersect{Left: left, Right: right, order: order, size: DefaultBatchSize}
 }
+
+// SetBatchSize sets the rows per batch.
+func (m *MergeIntersect) SetBatchSize(n int) { m.size = sizeOrDefault(n) }
 
 // Open opens and primes both inputs.
 func (m *MergeIntersect) Open() error {
@@ -29,18 +36,22 @@ func (m *MergeIntersect) Open() error {
 	if err := m.Right.Open(); err != nil {
 		return err
 	}
+	m.lc.reset(asBatch(m.Left))
+	m.rc.reset(asBatch(m.Right))
 	m.lrow, m.rrow, m.last = nil, nil, nil
 	m.ldone, m.rdone = false, false
+	m.ra.reset()
 	var err error
-	if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+	if m.lrow, err = advance(&m.lc, &m.ldone); err != nil {
 		return err
 	}
-	m.rrow, err = next(m.Right, &m.rdone)
+	m.rrow, err = advance(&m.rc, &m.rdone)
 	return err
 }
 
-func next(it Iterator, done *bool) (Row, error) {
-	row, ok, err := it.Next()
+// advance pulls the next row from a cursor, flagging end of stream.
+func advance(c *cursor, done *bool) (Row, error) {
+	row, ok, err := c.next()
 	if err != nil {
 		return nil, err
 	}
@@ -64,38 +75,45 @@ func cmpRows(a, b Row, order []int) int {
 	return 0
 }
 
-// Next returns the next row present in both inputs.
-func (m *MergeIntersect) Next() (Row, bool, error) {
-	for !m.ldone && !m.rdone {
+// NextBatch returns the next batch of rows present in both inputs.
+func (m *MergeIntersect) NextBatch() (*Batch, bool, error) {
+	m.out.reset()
+	for !m.ldone && !m.rdone && len(m.out.Rows) < m.size {
 		switch cmpRows(m.lrow, m.rrow, m.order) {
 		case -1:
 			var err error
-			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+			if m.lrow, err = advance(&m.lc, &m.ldone); err != nil {
 				return nil, false, err
 			}
 		case 1:
 			var err error
-			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+			if m.rrow, err = advance(&m.rc, &m.rdone); err != nil {
 				return nil, false, err
 			}
 		default:
 			out := m.lrow
 			var err error
-			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+			if m.lrow, err = advance(&m.lc, &m.ldone); err != nil {
 				return nil, false, err
 			}
-			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+			if m.rrow, err = advance(&m.rc, &m.rdone); err != nil {
 				return nil, false, err
 			}
 			if m.last != nil && cmpRows(out, m.last, m.order) == 0 {
 				continue // set semantics: suppress duplicates
 			}
 			m.last = out
-			return out, true, nil
+			m.out.add(out)
 		}
 	}
-	return nil, false, nil
+	if len(m.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &m.out, true, nil
 }
+
+// Next returns the next row present in both inputs.
+func (m *MergeIntersect) Next() (Row, bool, error) { return m.ra.next(m) }
 
 // Close closes both inputs.
 func (m *MergeIntersect) Close() error {
@@ -111,14 +129,25 @@ func (m *MergeIntersect) Close() error {
 type HashIntersect struct {
 	// Left and Right are the input streams.
 	Left, Right Iterator
+	// SizeHint pre-sizes the membership set; the plan builder sets it
+	// from the optimizer's cardinality estimate.
+	SizeHint int
+
+	size int
 
 	set map[string]Row
+	rc  cursor
+	out Batch
+	ra  rowAdapter
 }
 
 // NewHashIntersect creates the operator.
 func NewHashIntersect(left, right Iterator) *HashIntersect {
-	return &HashIntersect{Left: left, Right: right}
+	return &HashIntersect{Left: left, Right: right, size: DefaultBatchSize}
 }
+
+// SetBatchSize sets the rows per batch.
+func (h *HashIntersect) SetBatchSize(n int) { h.size = sizeOrDefault(n) }
 
 // Open builds the set from the left input.
 func (h *HashIntersect) Open() error {
@@ -128,9 +157,12 @@ func (h *HashIntersect) Open() error {
 	if err := h.Right.Open(); err != nil {
 		return err
 	}
-	h.set = make(map[string]Row)
+	h.rc.reset(asBatch(h.Right))
+	h.ra.reset()
+	h.set = make(map[string]Row, h.SizeHint)
+	build := newCursor(asBatch(h.Left))
 	for {
-		row, ok, err := h.Left.Next()
+		row, ok, err := build.next()
 		if err != nil {
 			return err
 		}
@@ -151,20 +183,31 @@ func rowKey(r Row) string {
 	return string(b)
 }
 
-// Next returns the next distinct row found in both inputs.
-func (h *HashIntersect) Next() (Row, bool, error) {
-	for {
-		row, ok, err := h.Right.Next()
-		if err != nil || !ok {
+// NextBatch returns the next batch of distinct rows found in both inputs.
+func (h *HashIntersect) NextBatch() (*Batch, bool, error) {
+	h.out.reset()
+	for len(h.out.Rows) < h.size {
+		row, ok, err := h.rc.next()
+		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			break
 		}
 		k := rowKey(row)
 		if _, hit := h.set[k]; hit {
 			delete(h.set, k) // emit each set element once
-			return row, true, nil
+			h.out.add(row)
 		}
 	}
+	if len(h.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &h.out, true, nil
 }
+
+// Next returns the next distinct row found in both inputs.
+func (h *HashIntersect) Next() (Row, bool, error) { return h.ra.next(h) }
 
 // Close releases the set and closes both inputs.
 func (h *HashIntersect) Close() error {
@@ -176,93 +219,6 @@ func (h *HashIntersect) Close() error {
 	return err
 }
 
-// Gather merges the partition streams of a parallel plan into one
-// serial stream, draining each partition's iterator in its own
-// goroutine — the "merge" role of Volcano's exchange operator.
-type Gather struct {
-	// Parts are the per-partition streams.
-	Parts []Iterator
-
-	rows chan gatherMsg
-	stop chan struct{}
-	open bool
-}
-
-type gatherMsg struct {
-	row Row
-	err error
-}
-
-// NewGather creates the operator.
-func NewGather(parts []Iterator) *Gather { return &Gather{Parts: parts} }
-
-// Open starts one producer goroutine per partition.
-func (g *Gather) Open() error {
-	g.rows = make(chan gatherMsg, 64)
-	g.stop = make(chan struct{})
-	g.open = true
-	done := make(chan struct{}, len(g.Parts))
-	for _, p := range g.Parts {
-		go func(it Iterator) {
-			defer func() { done <- struct{}{} }()
-			if err := it.Open(); err != nil {
-				select {
-				case g.rows <- gatherMsg{err: err}:
-				case <-g.stop:
-				}
-				return
-			}
-			defer it.Close()
-			for {
-				row, ok, err := it.Next()
-				if err != nil {
-					select {
-					case g.rows <- gatherMsg{err: err}:
-					case <-g.stop:
-					}
-					return
-				}
-				if !ok {
-					return
-				}
-				select {
-				case g.rows <- gatherMsg{row: row}:
-				case <-g.stop:
-					return
-				}
-			}
-		}(p)
-	}
-	go func() {
-		for range g.Parts {
-			<-done
-		}
-		close(g.rows)
-	}()
-	return nil
-}
-
-// Next returns the next row from any partition.
-func (g *Gather) Next() (Row, bool, error) {
-	msg, ok := <-g.rows
-	if !ok {
-		return nil, false, nil
-	}
-	if msg.err != nil {
-		return nil, false, fmt.Errorf("exec: partition failed: %w", msg.err)
-	}
-	return msg.row, true, nil
-}
-
-// Close stops the producers.
-func (g *Gather) Close() error {
-	if g.open {
-		close(g.stop)
-		g.open = false
-	}
-	return nil
-}
-
 // MergeUnion computes set union of two streams sorted identically on
 // every column, preserving the shared order and suppressing duplicates.
 type MergeUnion struct {
@@ -270,16 +226,23 @@ type MergeUnion struct {
 	Left, Right Iterator
 
 	order []int
+	size  int
 
+	lc, rc       cursor
 	lrow, rrow   Row
 	ldone, rdone bool
 	last         Row
+	out          Batch
+	ra           rowAdapter
 }
 
 // NewMergeUnion takes the shared sort order as row positions.
 func NewMergeUnion(left, right Iterator, order []int) *MergeUnion {
-	return &MergeUnion{Left: left, Right: right, order: order}
+	return &MergeUnion{Left: left, Right: right, order: order, size: DefaultBatchSize}
 }
+
+// SetBatchSize sets the rows per batch.
+func (m *MergeUnion) SetBatchSize(n int) { m.size = sizeOrDefault(n) }
 
 // Open opens and primes both inputs.
 func (m *MergeUnion) Open() error {
@@ -289,33 +252,40 @@ func (m *MergeUnion) Open() error {
 	if err := m.Right.Open(); err != nil {
 		return err
 	}
+	m.lc.reset(asBatch(m.Left))
+	m.rc.reset(asBatch(m.Right))
 	m.lrow, m.rrow, m.last = nil, nil, nil
 	m.ldone, m.rdone = false, false
+	m.ra.reset()
 	var err error
-	if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+	if m.lrow, err = advance(&m.lc, &m.ldone); err != nil {
 		return err
 	}
-	m.rrow, err = next(m.Right, &m.rdone)
+	m.rrow, err = advance(&m.rc, &m.rdone)
 	return err
 }
 
-// Next returns the next distinct row from either input, in order.
-func (m *MergeUnion) Next() (Row, bool, error) {
-	for {
+// NextBatch returns the next batch of distinct rows, in order.
+func (m *MergeUnion) NextBatch() (*Batch, bool, error) {
+	m.out.reset()
+	for len(m.out.Rows) < m.size {
 		var out Row
 		switch {
 		case m.ldone && m.rdone:
-			return nil, false, nil
+			if len(m.out.Rows) == 0 {
+				return nil, false, nil
+			}
+			return &m.out, true, nil
 		case m.rdone || (!m.ldone && cmpRows(m.lrow, m.rrow, m.order) <= 0):
 			out = m.lrow
 			var err error
-			if m.lrow, err = next(m.Left, &m.ldone); err != nil {
+			if m.lrow, err = advance(&m.lc, &m.ldone); err != nil {
 				return nil, false, err
 			}
 		default:
 			out = m.rrow
 			var err error
-			if m.rrow, err = next(m.Right, &m.rdone); err != nil {
+			if m.rrow, err = advance(&m.rc, &m.rdone); err != nil {
 				return nil, false, err
 			}
 		}
@@ -323,9 +293,13 @@ func (m *MergeUnion) Next() (Row, bool, error) {
 			continue // set semantics: suppress duplicates
 		}
 		m.last = out
-		return out, true, nil
+		m.out.add(out)
 	}
+	return &m.out, true, nil
 }
+
+// Next returns the next distinct row from either input, in order.
+func (m *MergeUnion) Next() (Row, bool, error) { return m.ra.next(m) }
 
 // Close closes both inputs.
 func (m *MergeUnion) Close() error {
@@ -340,15 +314,26 @@ func (m *MergeUnion) Close() error {
 type HashUnion struct {
 	// Left and Right are the input streams.
 	Left, Right Iterator
+	// SizeHint pre-sizes the membership set; the plan builder sets it
+	// from the optimizer's output-cardinality estimate.
+	SizeHint int
+
+	size int
 
 	seen    map[string]bool
+	lc, rc  cursor
 	onRight bool
+	out     Batch
+	ra      rowAdapter
 }
 
 // NewHashUnion creates the operator.
 func NewHashUnion(left, right Iterator) *HashUnion {
-	return &HashUnion{Left: left, Right: right}
+	return &HashUnion{Left: left, Right: right, size: DefaultBatchSize}
 }
+
+// SetBatchSize sets the rows per batch.
+func (h *HashUnion) SetBatchSize(n int) { h.size = sizeOrDefault(n) }
 
 // Open opens both inputs.
 func (h *HashUnion) Open() error {
@@ -358,25 +343,30 @@ func (h *HashUnion) Open() error {
 	if err := h.Right.Open(); err != nil {
 		return err
 	}
-	h.seen = make(map[string]bool)
+	h.lc.reset(asBatch(h.Left))
+	h.rc.reset(asBatch(h.Right))
+	h.seen = make(map[string]bool, h.SizeHint)
 	h.onRight = false
+	h.ra.reset()
 	return nil
 }
 
-// Next returns the next row not seen before, draining left then right.
-func (h *HashUnion) Next() (Row, bool, error) {
-	for {
-		src := h.Left
+// NextBatch returns the next batch of unseen rows, draining left then
+// right.
+func (h *HashUnion) NextBatch() (*Batch, bool, error) {
+	h.out.reset()
+	for len(h.out.Rows) < h.size {
+		src := &h.lc
 		if h.onRight {
-			src = h.Right
+			src = &h.rc
 		}
-		row, ok, err := src.Next()
+		row, ok, err := src.next()
 		if err != nil {
 			return nil, false, err
 		}
 		if !ok {
 			if h.onRight {
-				return nil, false, nil
+				break
 			}
 			h.onRight = true
 			continue
@@ -386,9 +376,16 @@ func (h *HashUnion) Next() (Row, bool, error) {
 			continue
 		}
 		h.seen[k] = true
-		return row, true, nil
+		h.out.add(row)
 	}
+	if len(h.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &h.out, true, nil
 }
+
+// Next returns the next row not seen before, draining left then right.
+func (h *HashUnion) Next() (Row, bool, error) { return h.ra.next(h) }
 
 // Close releases the set and closes both inputs.
 func (h *HashUnion) Close() error {
@@ -398,4 +395,244 @@ func (h *HashUnion) Close() error {
 		err = err2
 	}
 	return err
+}
+
+// gatherBatchMsg carries one batch of row headers (or a producer error)
+// from a partition goroutine to the merging consumer.
+type gatherBatchMsg struct {
+	rows []Row
+	err  error
+}
+
+// gatherProduce drains one partition iterator batch by batch into a
+// channel, copying only the row headers per send (the data behind them
+// is stable; see the package lifetime contract). It returns when the
+// partition ends, errors, or stop closes.
+func gatherProduce(it Iterator, out chan<- gatherBatchMsg, stop <-chan struct{}) {
+	if err := it.Open(); err != nil {
+		select {
+		case out <- gatherBatchMsg{err: err}:
+		case <-stop:
+		}
+		return
+	}
+	defer it.Close()
+	bi := asBatch(it)
+	for {
+		b, ok, err := bi.NextBatch()
+		if err != nil {
+			select {
+			case out <- gatherBatchMsg{err: err}:
+			case <-stop:
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		rows := make([]Row, len(b.Rows))
+		copy(rows, b.Rows)
+		select {
+		case out <- gatherBatchMsg{rows: rows}:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// gatherQueueBatches bounds the per-gather channel depth in batches.
+const gatherQueueBatches = 4
+
+// Gather merges the partition streams of a parallel plan into one
+// serial stream, draining each partition's iterator in its own
+// goroutine — the "merge" role of Volcano's exchange operator. Rows
+// move between goroutines a batch at a time.
+type Gather struct {
+	// Parts are the per-partition streams.
+	Parts []Iterator
+
+	batches chan gatherBatchMsg
+	stop    chan struct{}
+	open    bool
+	view    Batch
+	ra      rowAdapter
+}
+
+// NewGather creates the operator.
+func NewGather(parts []Iterator) *Gather { return &Gather{Parts: parts} }
+
+// Open starts one producer goroutine per partition.
+func (g *Gather) Open() error {
+	g.batches = make(chan gatherBatchMsg, gatherQueueBatches*len(g.Parts))
+	g.stop = make(chan struct{})
+	g.open = true
+	g.ra.reset()
+	done := make(chan struct{}, len(g.Parts))
+	for _, p := range g.Parts {
+		go func(it Iterator) {
+			defer func() { done <- struct{}{} }()
+			gatherProduce(it, g.batches, g.stop)
+		}(p)
+	}
+	go func() {
+		for range g.Parts {
+			<-done
+		}
+		close(g.batches)
+	}()
+	return nil
+}
+
+// NextBatch returns the next batch from any partition.
+func (g *Gather) NextBatch() (*Batch, bool, error) {
+	msg, ok := <-g.batches
+	if !ok {
+		return nil, false, nil
+	}
+	if msg.err != nil {
+		return nil, false, fmt.Errorf("exec: partition failed: %w", msg.err)
+	}
+	g.view.Rows = msg.rows
+	return &g.view, true, nil
+}
+
+// Next returns the next row from any partition.
+func (g *Gather) Next() (Row, bool, error) { return g.ra.next(g) }
+
+// Close stops the producers.
+func (g *Gather) Close() error {
+	if g.open {
+		close(g.stop)
+		g.open = false
+	}
+	return nil
+}
+
+// GatherOrdered merges partition streams that are each sorted on the
+// same keys into one stream preserving that order: partitions still
+// produce in parallel, the consumer runs a k-way merge over their
+// buffered heads (the sort-preserving variant of exchange-merge).
+type GatherOrdered struct {
+	// Parts are the per-partition streams, each sorted on the keys.
+	Parts []Iterator
+
+	keys []sortKey
+	size int
+
+	chans []chan gatherBatchMsg
+	bufs  [][]Row
+	idx   []int
+	done  []bool
+	stop  chan struct{}
+	open  bool
+	out   Batch
+	ra    rowAdapter
+}
+
+// NewGatherOrdered takes the shared sort order as (position, desc)
+// pairs resolved against the partition schema.
+func NewGatherOrdered(parts []Iterator, keys []sortKey) *GatherOrdered {
+	return &GatherOrdered{Parts: parts, keys: keys, size: DefaultBatchSize}
+}
+
+// SetBatchSize sets the rows per batch.
+func (g *GatherOrdered) SetBatchSize(n int) { g.size = sizeOrDefault(n) }
+
+// Open starts one producer goroutine per partition.
+func (g *GatherOrdered) Open() error {
+	g.stop = make(chan struct{})
+	g.open = true
+	g.chans = make([]chan gatherBatchMsg, len(g.Parts))
+	g.bufs = make([][]Row, len(g.Parts))
+	g.idx = make([]int, len(g.Parts))
+	g.done = make([]bool, len(g.Parts))
+	g.ra.reset()
+	for i, p := range g.Parts {
+		ch := make(chan gatherBatchMsg, gatherQueueBatches)
+		g.chans[i] = ch
+		go func(it Iterator, ch chan gatherBatchMsg) {
+			defer close(ch)
+			gatherProduce(it, ch, g.stop)
+		}(p, ch)
+	}
+	return nil
+}
+
+// head ensures partition i has a buffered row available, pulling the
+// next batch from its channel if needed; returns false once the
+// partition is exhausted.
+func (g *GatherOrdered) head(i int) (Row, bool, error) {
+	for {
+		if g.idx[i] < len(g.bufs[i]) {
+			return g.bufs[i][g.idx[i]], true, nil
+		}
+		if g.done[i] {
+			return nil, false, nil
+		}
+		msg, ok := <-g.chans[i]
+		if !ok {
+			g.done[i] = true
+			return nil, false, nil
+		}
+		if msg.err != nil {
+			return nil, false, fmt.Errorf("exec: partition failed: %w", msg.err)
+		}
+		g.bufs[i], g.idx[i] = msg.rows, 0
+	}
+}
+
+func (g *GatherOrdered) less(a, b Row) bool {
+	for _, k := range g.keys {
+		av, bv := a[k.pos], b[k.pos]
+		if av == bv {
+			continue
+		}
+		if k.desc {
+			return av > bv
+		}
+		return av < bv
+	}
+	return false
+}
+
+// NextBatch returns the next batch of the k-way merge.
+func (g *GatherOrdered) NextBatch() (*Batch, bool, error) {
+	g.out.reset()
+	for len(g.out.Rows) < g.size {
+		best := -1
+		var bestRow Row
+		for i := range g.Parts {
+			row, ok, err := g.head(i)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+			if best < 0 || g.less(row, bestRow) {
+				best, bestRow = i, row
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g.idx[best]++
+		g.out.add(bestRow)
+	}
+	if len(g.out.Rows) == 0 {
+		return nil, false, nil
+	}
+	return &g.out, true, nil
+}
+
+// Next returns the next row of the k-way merge.
+func (g *GatherOrdered) Next() (Row, bool, error) { return g.ra.next(g) }
+
+// Close stops the producers.
+func (g *GatherOrdered) Close() error {
+	if g.open {
+		close(g.stop)
+		g.open = false
+	}
+	return nil
 }

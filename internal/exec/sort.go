@@ -9,7 +9,8 @@ import (
 // Sort is the sort enforcer's runtime: an external sort with a
 // single-level merge, exactly the structure the optimizer prices —
 // bounded-memory runs are formed and sorted one at a time, then merged
-// in one pass.
+// in one pass. Merged rows are emitted in batches of row headers; the
+// row data itself lives in the materialized runs.
 type Sort struct {
 	// In is the input stream.
 	In Iterator
@@ -18,8 +19,11 @@ type Sort struct {
 	RunRows int
 
 	keys  []sortKey
+	size  int
 	runs  [][]Row
 	heads []int
+	out   Batch
+	ra    rowAdapter
 }
 
 // DefaultSortRunRows is the default run size of the external sort.
@@ -32,12 +36,15 @@ type sortKey struct {
 
 // NewSort resolves the sort order against the input schema.
 func NewSort(in Iterator, schema *Schema, order []relopt.OrderCol) *Sort {
-	s := &Sort{In: in}
+	s := &Sort{In: in, size: DefaultBatchSize}
 	for _, oc := range order {
 		s.keys = append(s.keys, sortKey{pos: schema.Pos(oc.Col), desc: oc.Desc})
 	}
 	return s
 }
+
+// SetBatchSize sets the rows per batch.
+func (s *Sort) SetBatchSize(n int) { s.size = sizeOrDefault(n) }
 
 // less compares rows on the sort keys.
 func (s *Sort) less(a, b Row) bool {
@@ -64,6 +71,7 @@ func (s *Sort) Open() error {
 		limit = DefaultSortRunRows
 	}
 	s.runs = s.runs[:0]
+	s.ra.reset()
 	run := make([]Row, 0, limit)
 	flush := func() {
 		if len(run) == 0 {
@@ -73,8 +81,9 @@ func (s *Sort) Open() error {
 		s.runs = append(s.runs, run)
 		run = make([]Row, 0, limit)
 	}
+	in := newCursor(asBatch(s.In))
 	for {
-		row, ok, err := s.In.Next()
+		row, ok, err := in.next()
 		if err != nil {
 			return err
 		}
@@ -91,24 +100,33 @@ func (s *Sort) Open() error {
 	return nil
 }
 
-// Next merges the runs in a single level.
-func (s *Sort) Next() (Row, bool, error) {
-	best := -1
-	for i, run := range s.runs {
-		if s.heads[i] >= len(run) {
-			continue
+// NextBatch merges the runs in a single level, one batch at a time.
+func (s *Sort) NextBatch() (*Batch, bool, error) {
+	s.out.reset()
+	for len(s.out.Rows) < s.size {
+		best := -1
+		for i, run := range s.runs {
+			if s.heads[i] >= len(run) {
+				continue
+			}
+			if best < 0 || s.less(run[s.heads[i]], s.runs[best][s.heads[best]]) {
+				best = i
+			}
 		}
-		if best < 0 || s.less(run[s.heads[i]], s.runs[best][s.heads[best]]) {
-			best = i
+		if best < 0 {
+			break
 		}
+		s.out.add(s.runs[best][s.heads[best]])
+		s.heads[best]++
 	}
-	if best < 0 {
+	if len(s.out.Rows) == 0 {
 		return nil, false, nil
 	}
-	r := s.runs[best][s.heads[best]]
-	s.heads[best]++
-	return r, true, nil
+	return &s.out, true, nil
 }
+
+// Next returns the next row in sort order.
+func (s *Sort) Next() (Row, bool, error) { return s.ra.next(s) }
 
 // Close releases the runs and closes the input.
 func (s *Sort) Close() error {

@@ -1,0 +1,63 @@
+package fig4
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/exec"
+	"repro/internal/relopt"
+)
+
+// benchRows keeps the Go benchmarks well under the experiment's default
+// scale so `go test -bench` stays usable; volcano-bench -experiment e2e
+// is the full-scale harness.
+const benchRows = 1_000_000
+
+func benchWorkload(b *testing.B, name string, opts exec.Options) {
+	b.Helper()
+	cfg := Config{}.Defaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.ScaledCatalog(3, benchRows)
+	db := exec.FromData(cat, src.Rows(cat))
+	for _, w := range e2eWorkloads(cat) {
+		if w.name != name {
+			continue
+		}
+		plan, _, err := e2ePlan(cat, relopt.DefaultConfig(), w.tree, w.required)
+		if err != nil {
+			b.Fatalf("optimize: %v", err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := exec.RunOpts(nil, db, plan, nil, opts); err != nil {
+				b.Fatalf("run: %v", err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown workload %q", name)
+}
+
+func BenchmarkJoin2Row(b *testing.B) {
+	benchWorkload(b, "join2", exec.Options{BatchSize: 1, NoFusion: true})
+}
+
+func BenchmarkJoin2Batch(b *testing.B) {
+	benchWorkload(b, "join2", exec.Options{})
+}
+
+func BenchmarkScanFilterRow(b *testing.B) {
+	benchWorkload(b, "scan-filter", exec.Options{BatchSize: 1, NoFusion: true})
+}
+
+func BenchmarkScanFilterBatch(b *testing.B) {
+	benchWorkload(b, "scan-filter", exec.Options{})
+}
+
+func BenchmarkGroupByRow(b *testing.B) {
+	benchWorkload(b, "groupby", exec.Options{BatchSize: 1, NoFusion: true})
+}
+
+func BenchmarkGroupByBatch(b *testing.B) {
+	benchWorkload(b, "groupby", exec.Options{})
+}

@@ -20,6 +20,8 @@ type BenchReport struct {
 	Cache *CacheResult `json:"cache,omitempty"`
 	// Spar holds the intra-query parallel search A/B, when run.
 	Spar *SparResult `json:"spar,omitempty"`
+	// E2E holds the end-to-end optimize-and-execute engine A/B, when run.
+	E2E *E2EResult `json:"e2e,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.

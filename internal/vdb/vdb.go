@@ -49,6 +49,9 @@ type Options struct {
 	// queries coalesce into one optimization. Parameterized statements
 	// are cached by shape. Budget-degraded plans are never cached.
 	CacheBytes int64
+	// Exec tunes the execution engine: batch size, exchange producer
+	// parallelism, and scan-filter fusion.
+	Exec exec.Options
 }
 
 // DB is one database instance: schema, statistics, data, and the
@@ -230,12 +233,20 @@ func (s *Stmt) Degraded() error { return s.degraded }
 // cache rather than optimized by this Prepare call.
 func (s *Stmt) Cached() bool { return s.cached }
 
-// Exec runs the prepared statement with the given parameter values.
+// Exec runs the prepared statement with the given parameter values; see
+// ExecCtx.
 func (s *Stmt) Exec(params ...int64) (*Result, error) {
+	return s.ExecCtx(context.Background(), params...)
+}
+
+// ExecCtx runs the prepared statement with the given parameter values
+// under a context: canceling it tears down the executing iterator tree
+// (including any exchange workers) and fails the call.
+func (s *Stmt) ExecCtx(ctx context.Context, params ...int64) (*Result, error) {
 	if len(params) != s.nparams {
 		return nil, fmt.Errorf("vdb: statement needs %d parameters, got %d", s.nparams, len(params))
 	}
-	rows, schema, err := exec.RunParams(s.db.data, s.plan, params)
+	rows, schema, err := exec.RunOpts(ctx, s.db.data, s.plan, params, s.db.opts.Exec)
 	if err != nil {
 		return nil, err
 	}
@@ -256,10 +267,12 @@ func (db *DB) Query(sql string) (*Result, error) {
 }
 
 // QueryCtx parses, optimizes, and executes a fully specified statement.
-// The context bounds the optimization phase: canceling it (or exceeding
-// the configured Search.Budget) degrades the query to the best complete
-// plan found — the query still runs, and Result.Degraded explains what
-// stopped the search. Execution itself is not canceled.
+// The context bounds both phases: during optimization, canceling it (or
+// exceeding the configured Search.Budget) degrades the query to the best
+// complete plan found — the query still runs, and Result.Degraded
+// explains what stopped the search. During execution, canceling the
+// context tears down the iterator tree (including any exchange workers)
+// and fails the query.
 func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	st, err := sqlish.Parse(db.cat, sql)
 	if err != nil {
@@ -272,7 +285,7 @@ func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, schema, err := exec.Run(db.data, entry.Plan)
+	rows, schema, err := exec.RunOpts(ctx, db.data, entry.Plan, nil, db.opts.Exec)
 	if err != nil {
 		return nil, err
 	}
