@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e profile fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-mqo profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,15 @@ bench-spar:
 ROWS ?= 1000000
 bench-e2e:
 	$(GO) run ./cmd/volcano-bench -experiment e2e -rows $(ROWS) -json ""
+
+# Multi-query optimization over one shared memo: an overlapping batch
+# optimized independently, shared-nothing (every plan cost must be
+# byte-identical to independent optimization — volcano-bench exits
+# non-zero otherwise), and over one shared memo with the cost-based
+# Materialize/Reuse post-pass (every executed result multiset gated
+# against independent execution). Override ROWS for other scales.
+bench-mqo:
+	$(GO) run ./cmd/volcano-bench -experiment fig4mqo -rows $(ROWS) -json ""
 
 # CPU and heap profiles of the Figure-4 hot path (serial fig4 by
 # default; override EXPERIMENT=fig4spar etc. to profile another).

@@ -6,6 +6,7 @@
 //	volcano-bench -experiment fig4par    # worker-pool throughput sweep
 //	volcano-bench -experiment fig4spar   # intra-query parallel search A/B
 //	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
+//	volcano-bench -experiment fig4mqo    # shared-memo multi-query optimization
 //	volcano-bench -experiment e2e        # optimize-and-execute engine A/B
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
@@ -36,6 +37,14 @@
 // producer goroutines). It exits non-zero if any engine's result
 // multiset diverges from the row-engine baseline.
 //
+// The fig4mqo experiment optimizes an overlapping batch of queries over
+// one shared memo (core.ParallelOptimizeCtx with Search.ShareMemo),
+// applies the cost-based Materialize/Reuse post-pass, and executes the
+// rewritten plans against generated tables of -rows rows. It exits
+// non-zero if any plan cost with sharing disabled diverges from
+// independent optimization, or if any shared-batch result multiset
+// diverges from independent execution.
+//
 // The fig4 experiment additionally writes a machine-readable report
 // (default BENCH_fig4.json; -json "" disables) so per-level optimization
 // time, plan cost, memo size, and search-effort counters can be tracked
@@ -56,7 +65,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | e2e | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | fig4mqo | e2e | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -134,6 +143,7 @@ func main() {
 	var fig4Cache *fig4.CacheResult
 	var fig4Spar *fig4.SparResult
 	var fig4E2E *fig4.E2EResult
+	var fig4MQO *fig4.MQOResult
 
 	run := func(name string) {
 		switch name {
@@ -164,6 +174,18 @@ func main() {
 			fmt.Print(fig4.FormatE2E(e2e))
 			if e2e.Mismatches > 0 {
 				fmt.Fprintf(os.Stderr, "volcano-bench: %d executed results diverged from the row-engine baseline\n", e2e.Mismatches)
+				os.Exit(1)
+			}
+		case "fig4mqo":
+			mqo := fig4.RunMQO(cfg, *e2eRows, *searchWorkers)
+			fig4MQO = &mqo
+			fmt.Print(fig4.FormatMQO(mqo))
+			if mqo.CostMismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d no-sharing batch plans diverged from independent optimization costs\n", mqo.CostMismatches)
+				os.Exit(1)
+			}
+			if mqo.Mismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d shared-batch results diverged from independent execution\n", mqo.Mismatches)
 				os.Exit(1)
 			}
 		case "fig4cache":
@@ -226,18 +248,19 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "e2e", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "fig4mqo", "e2e", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil || fig4MQO != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
 		rep.Cache = fig4Cache
 		rep.Spar = fig4Spar
 		rep.E2E = fig4E2E
+		rep.MQO = fig4MQO
 		// Keep the sections of experiments this invocation did not rerun,
 		// and merge rerun levels into the existing per-level curve.
 		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
@@ -261,6 +284,9 @@ func main() {
 			}
 			if fig4E2E == nil {
 				rep.E2E = old.E2E
+			}
+			if fig4MQO == nil {
+				rep.MQO = old.MQO
 			}
 		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {

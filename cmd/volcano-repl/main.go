@@ -4,10 +4,17 @@
 //	\tables            list tables and statistics
 //	\explain SELECT …  show the plan without executing
 //	\memo SELECT …     show the memo after optimizing
+//	\batch S1; S2; …   optimize and run statements over one shared memo
+//	\stats             show the last optimization's full counters
 //	\cache             show plan-cache counters
 //	\workers N         set intra-query search workers (1 = sequential)
 //	\seed N            regenerate the database with a new seed
 //	\quit
+//
+// \batch runs the multi-query path: the statements share one memo, and
+// subplans common to several of them may be spooled once (Materialize)
+// and rescanned (Reuse) when the cost model says that wins; \stats
+// afterwards shows the sharing counters.
 //
 // Repeated queries are served from a fingerprint-keyed plan cache
 // (-cache-size bytes; 0 disables), so only the first occurrence of a
@@ -91,6 +98,9 @@ type repl struct {
 
 	batchSize   int
 	execWorkers int
+
+	// last holds the most recent optimization's counters, for \stats.
+	last *core.Stats
 }
 
 // options assembles the database options from the repl's flags.
@@ -195,6 +205,12 @@ func (r *repl) dispatch(line string) bool {
 			fmt.Println("sequential engine restored (plan cache cleared)")
 		}
 
+	case strings.HasPrefix(line, `\batch `):
+		r.batch(strings.TrimPrefix(line, `\batch `))
+
+	case line == `\stats`:
+		r.stats()
+
 	case line == `\cache`:
 		c := r.db.PlanCache()
 		if c == nil {
@@ -207,7 +223,7 @@ func (r *repl) dispatch(line string) bool {
 		fmt.Printf("            %d entries, %d bytes resident\n", ct.Entries, ct.CacheBytes)
 
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown command; available: \\tables \\explain \\memo \\cache \\workers \\seed \\quit")
+		fmt.Println("unknown command; available: \\tables \\explain \\memo \\batch \\stats \\cache \\workers \\seed \\quit")
 
 	default:
 		r.query(line)
@@ -233,7 +249,72 @@ func (r *repl) memo(sql string) {
 		fmt.Println("error:", err)
 		return
 	}
+	r.last = opt.Stats()
 	fmt.Print(opt.Memo().Format())
+}
+
+// batch optimizes semicolon-separated statements over one shared memo
+// and executes them against a batch-shared spool store.
+func (r *repl) batch(input string) {
+	var sqls []string
+	for _, s := range strings.Split(input, ";") {
+		if s = strings.TrimSpace(s); s != "" {
+			sqls = append(sqls, s)
+		}
+	}
+	if len(sqls) == 0 {
+		fmt.Println("usage: \\batch SELECT …; SELECT …")
+		return
+	}
+	res, err := r.db.QueryBatch(sqls)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r.last = &res.Stats
+	for i, q := range res.Results {
+		fmt.Printf("-- statement %d: %s\n", i+1, sqls[i])
+		fmt.Print(q.Plan.Format())
+		fmt.Printf("%d rows\n", len(q.Rows))
+	}
+	fmt.Printf("batch: %d statements, %d shared classes, %d shared winner nodes, %d subplans spooled\n",
+		len(res.Results), res.Stats.SharedGroups, res.Stats.SharedWinners, res.Spools)
+}
+
+// stats prints the last optimization's full counters.
+func (r *repl) stats() {
+	s := r.last
+	if s == nil {
+		fmt.Println("no optimization has run yet")
+		return
+	}
+	fmt.Printf("memo:      %d classes, %d expressions, %d merges, peak %d bytes\n",
+		s.Groups, s.Exprs, s.Merges, s.PeakMemoBytes)
+	fmt.Printf("rules:     %d match calls, %d bindings, %d fired, %d moves reused\n",
+		s.MatchCalls, s.Bindings, s.RulesFired, s.MovesReused)
+	fmt.Printf("search:    %d goals, %d steps (%d algorithm + %d enforcer), %d pruned, %d skipped\n",
+		s.GoalsOptimized, s.Steps(), s.AlgorithmMoves, s.EnforcerMoves, s.Pruned, s.MovesSkipped)
+	fmt.Printf("lookups:   %d winner hits, %d failure hits, %d goals failed in-limit\n",
+		s.WinnerHits, s.FailureHits, s.GoalsPruned)
+	fmt.Printf("engine:    %d workers, %d tasks run, %d tasks parked\n",
+		s.SearchWorkers, s.TasksRun, s.TasksParked)
+	fmt.Printf("sharing:   %d shared classes, %d shared winner nodes\n",
+		s.SharedGroups, s.SharedWinners)
+	if s.SeedCost != nil {
+		fmt.Printf("guidance:  seed cost %v, %d limit stage(s)\n", s.SeedCost, s.LimitStages)
+	}
+	if s.ConsistencyViolations > 0 {
+		fmt.Printf("CONSISTENCY VIOLATIONS: %d\n", s.ConsistencyViolations)
+	}
+	switch {
+	case s.CacheHit:
+		fmt.Println("result:    served from the plan cache")
+	case s.Coalesced:
+		fmt.Println("result:    coalesced with an identical in-flight optimization")
+	}
+	if s.StopReason != nil {
+		fmt.Printf("stopped:   %v (fallback plan: %v)\n", s.StopReason, s.AnytimeFallback)
+	}
 }
 
 func (r *repl) query(sql string) {
@@ -242,6 +323,7 @@ func (r *repl) query(sql string) {
 		fmt.Println("error:", err)
 		return
 	}
+	r.last = &res.Stats
 	fmt.Print(res.Plan.Format())
 	fmt.Printf("(%s)\n", strings.Join(res.Columns, ", "))
 	for i, row := range res.Rows {

@@ -380,6 +380,17 @@ func (m *Memo) InsertTree(t *ExprTree, target GroupID) GroupID {
 	return g
 }
 
+// InsertTreeConcurrent is InsertTree under the memo's write lock, for
+// shared-memo batches inserting query trees from several goroutines.
+// Insertion reuses per-memo scratch space and is not otherwise safe for
+// concurrent use; the write lock serializes whole-tree inserts against
+// each other and against any running search.
+func (m *Memo) InsertTreeConcurrent(t *ExprTree, target GroupID) GroupID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.InsertTree(t, target)
+}
+
 // MemoryBytes returns an estimate of the memo's working-set size,
 // supporting the paper's report that Volcano performed exhaustive search
 // for all test queries within 1 MB of work space.

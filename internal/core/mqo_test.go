@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mqoTrees builds a randomized overlapping batch of left-deep toy
+// queries over a small leaf pool: with five leaves and many trees,
+// prefixes collide constantly, which is exactly the sharing the
+// concurrent-insertion and batch-search paths must keep correct.
+func mqoTrees(seed int64, n int) []*core.ExprTree {
+	rng := rand.New(rand.NewSource(seed))
+	pool := []string{"a", "b", "c", "d", "e"}
+	trees := make([]*core.ExprTree, n)
+	for i := range trees {
+		k := 2 + rng.Intn(len(pool)-1)
+		names := make([]string, k)
+		perm := rng.Perm(len(pool))
+		for j := 0; j < k; j++ {
+			names[j] = pool[perm[j]]
+		}
+		trees[i] = leftDeepPair(names...)
+	}
+	return trees
+}
+
+// TestConcurrentInsertMatchesSequential: inserting randomized
+// overlapping trees into one memo from N goroutines must produce
+// exactly the group count and winner costs of sequential insertion — in
+// any insertion order. Run under -race (make test-race-core) this also
+// proves InsertTreeConcurrent's locking.
+func TestConcurrentInsertMatchesSequential(t *testing.T) {
+	trees := mqoTrees(7, 12)
+
+	// Sequential baselines over several insertion-order permutations:
+	// group count and per-tree optimized cost must not depend on order.
+	rng := rand.New(rand.NewSource(11))
+	wantGroups := -1
+	var wantCosts []core.Cost
+	for perm := 0; perm < 4; perm++ {
+		order := rng.Perm(len(trees))
+		if perm == 0 {
+			for i := range order {
+				order[i] = i
+			}
+		}
+		o := core.NewOptimizer(&toyModel{}, nil)
+		roots := make([]core.GroupID, len(trees))
+		for _, i := range order {
+			roots[i] = o.InsertQuery(trees[i])
+		}
+		groups := o.Stats().Groups
+		costs := make([]core.Cost, len(trees))
+		for i, root := range roots {
+			p, err := o.Optimize(root, nil)
+			if err != nil || p == nil {
+				t.Fatalf("perm %d tree %d: plan=%v err=%v", perm, i, p, err)
+			}
+			costs[i] = p.Cost
+		}
+		if wantGroups < 0 {
+			wantGroups, wantCosts = groups, costs
+			continue
+		}
+		if groups != wantGroups {
+			t.Errorf("perm %d: %d groups, want %d", perm, groups, wantGroups)
+		}
+		for i := range costs {
+			if costs[i] != wantCosts[i] {
+				t.Errorf("perm %d tree %d: cost %v, want %v", perm, i, costs[i], wantCosts[i])
+			}
+		}
+	}
+
+	// Concurrent insertion from one goroutine per tree.
+	for round := 0; round < 3; round++ {
+		o := core.NewOptimizer(&toyModel{}, nil)
+		roots := make([]core.GroupID, len(trees))
+		var wg sync.WaitGroup
+		wg.Add(len(trees))
+		for i := range trees {
+			go func(i int) {
+				defer wg.Done()
+				roots[i] = o.Memo().InsertTreeConcurrent(trees[i], core.InvalidGroup)
+			}(i)
+		}
+		wg.Wait()
+		if got := o.Stats().Groups; got != wantGroups {
+			t.Errorf("round %d: concurrent insertion built %d groups, want %d", round, got, wantGroups)
+		}
+		for i, root := range roots {
+			p, err := o.Optimize(root, nil)
+			if err != nil || p == nil {
+				t.Fatalf("round %d tree %d: plan=%v err=%v", round, i, p, err)
+			}
+			if p.Cost != wantCosts[i] {
+				t.Errorf("round %d tree %d: cost %v, want %v", round, i, p.Cost, wantCosts[i])
+			}
+		}
+	}
+}
+
+// TestOptimizeBatchMatchesSingle: a multi-root batch search over one
+// shared memo finds, for every root, a plan of exactly the cost a
+// single-root optimization finds — at one worker and several.
+func TestOptimizeBatchMatchesSingle(t *testing.T) {
+	trees := mqoTrees(19, 8)
+	want := make([]core.Cost, len(trees))
+	for i, tree := range trees {
+		o := core.NewOptimizer(&toyModel{}, nil)
+		p, err := o.Optimize(o.InsertQuery(tree), toyColor(1))
+		if err != nil || p == nil {
+			t.Fatalf("single %d: plan=%v err=%v", i, p, err)
+		}
+		want[i] = p.Cost
+	}
+	for _, workers := range []int{0, 1, 4} {
+		opts := &core.Options{}
+		opts.Search.ShareMemo = true
+		opts.Search.Workers = workers
+		o := core.NewOptimizer(&toyModel{}, opts)
+		roots := make([]core.GroupID, len(trees))
+		reqs := make([]core.PhysProps, len(trees))
+		for i, tree := range trees {
+			roots[i] = o.InsertQuery(tree)
+			reqs[i] = toyColor(1)
+		}
+		plans, err := o.OptimizeBatchCtx(context.Background(), roots, reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, p := range plans {
+			if p == nil {
+				t.Fatalf("workers=%d root %d: no plan", workers, i)
+			}
+			if p.Cost != want[i] {
+				t.Errorf("workers=%d root %d: cost %v, want %v", workers, i, p.Cost, want[i])
+			}
+		}
+		if o.Stats().SharedGroups == 0 {
+			t.Errorf("workers=%d: overlapping batch reports no shared groups", workers)
+		}
+		if o.Stats().SearchWorkers < 1 {
+			t.Errorf("workers=%d: SearchWorkers = %d", workers, o.Stats().SearchWorkers)
+		}
+	}
+}
+
+// TestShareMemoThroughParallelOptimize: the ParallelOptimizeCtx routing
+// — shared memo when every job qualifies, shared-nothing otherwise —
+// returns identical costs either way, and the shared path reports
+// sharing. Duplicate queries collapse to the same root and need no
+// special casing.
+func TestShareMemoThroughParallelOptimize(t *testing.T) {
+	trees := mqoTrees(23, 6)
+	trees = append(trees, trees[0]) // an exact duplicate
+	baseline := make([]core.Cost, len(trees))
+	for i, tree := range trees {
+		o := core.NewOptimizer(&toyModel{}, nil)
+		p, err := o.Optimize(o.InsertQuery(tree), nil)
+		if err != nil || p == nil {
+			t.Fatalf("baseline %d: plan=%v err=%v", i, p, err)
+		}
+		baseline[i] = p.Cost
+	}
+	for _, workers := range []int{0, 4} {
+		opts := &core.Options{}
+		opts.Search.ShareMemo = true
+		opts.Search.Workers = workers
+		jobs := make([]core.ParallelJob, len(trees))
+		for i, tree := range trees {
+			jobs[i] = core.ParallelJob{Model: &toyModel{}, Options: opts, Tree: tree}
+		}
+		// Distinct model pointers per job disqualify the batch; same
+		// pointer everywhere qualifies it.
+		model := jobs[0].Model
+		for i := range jobs {
+			jobs[i].Model = model
+		}
+		results := core.ParallelOptimizeCtx(context.Background(), jobs, 2)
+		for i, r := range results {
+			if r.Err != nil || r.Plan == nil {
+				t.Fatalf("workers=%d job %d: plan=%v err=%v", workers, i, r.Plan, r.Err)
+			}
+			if r.Plan.Cost != baseline[i] {
+				t.Errorf("workers=%d job %d: cost %v, want %v", workers, i, r.Plan.Cost, baseline[i])
+			}
+			if r.Stats.SharedGroups == 0 {
+				t.Errorf("workers=%d job %d: no shared groups reported", workers, i)
+			}
+		}
+	}
+}
+
+// TestShareMemoValidate: the configuration contradictions ShareMemo
+// introduces are rejected up front.
+func TestShareMemoValidate(t *testing.T) {
+	bad := []core.Options{
+		{Search: core.SearchOptions{ShareMemo: true, GlueMode: true}},
+		{Search: core.SearchOptions{ShareMemo: true, NoIncremental: true,
+			MoveFilter: func(m []core.Move) []core.Move { return m }}},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Errorf("case %d: contradictory options validated", i)
+		}
+	}
+	ok := core.Options{Search: core.SearchOptions{ShareMemo: true, Workers: 4}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("ShareMemo with workers rejected: %v", err)
+	}
+}

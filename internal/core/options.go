@@ -46,6 +46,18 @@ type SearchOptions struct {
 	// search; ParallelOptimize parallelizes *across* queries and composes
 	// with it (see ParallelOptimizeCtx on oversubscription).
 	Workers int
+	// ShareMemo lets ParallelOptimizeCtx target one shared memo for a
+	// whole batch: jobs over the same model and options insert their
+	// trees into a common memo, their root goals are optimized as
+	// independent roots of one task-engine search, and equivalence
+	// classes (and winners) reached by more than one root are counted in
+	// Stats.SharedGroups and Stats.SharedWinners. With ShareMemo off —
+	// or for batches whose jobs differ in model or options — every
+	// result is bit-identical to an independent optimization. ShareMemo
+	// batches run the task engine even when Workers <= 1 (with one
+	// worker), and the Budget bounds the batch as a whole rather than
+	// each job. See ParallelOptimizeCtx and MaterializeSharedPlans.
+	ShareMemo bool
 	// NoPruning disables branch-and-bound: every move is pursued to
 	// completion regardless of the cost limit.
 	NoPruning bool
@@ -134,6 +146,15 @@ func (o *Options) Validate() error {
 	}
 	if o.Search.GlueMode && o.Guidance.SeedPlanner != nil {
 		return errors.New("core: Search.GlueMode and Guidance.SeedPlanner are mutually exclusive — glue mode optimizes without property-directed limits to guide")
+	}
+	if o.Search.ShareMemo && o.Search.GlueMode {
+		return errors.New("core: Search.ShareMemo requires the task engine, which Search.GlueMode does not run on")
+	}
+	if o.Search.ShareMemo && o.Search.MoveFilter != nil {
+		return errors.New("core: Search.MoveFilter requires sequential search, which Search.ShareMemo batches never use")
+	}
+	if o.Search.ShareMemo && o.Guidance.SeedPlanner != nil {
+		return errors.New("core: Guidance.SeedPlanner seeds one root's limit and cannot guide a Search.ShareMemo batch of roots")
 	}
 	if o.Guidance.SeedStages < 0 {
 		return fmt.Errorf("core: Guidance.SeedStages must not be negative, got %d", o.Guidance.SeedStages)
@@ -275,6 +296,17 @@ type Stats struct {
 	// until the goal's owner finished — instead of spinning or
 	// duplicating the work. Zero for a sequential run.
 	TasksParked int
+
+	// SharedGroups counts equivalence classes reachable from more than
+	// one root of a shared-memo batch (ParallelOptimizeCtx with
+	// Search.ShareMemo): exploration work done once instead of per
+	// query. Zero outside shared-memo batches.
+	SharedGroups int
+	// SharedWinners counts winner plan nodes appearing in more than one
+	// root's final plan of a shared-memo batch — the candidate set the
+	// Materialize/Reuse post-pass prices. Zero outside shared-memo
+	// batches.
+	SharedWinners int
 
 	// SeedFloorCost is the cost of the complete seed plan captured as the
 	// anytime degradation floor (SeedPlan.Plan); nil when the seed

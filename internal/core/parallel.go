@@ -76,10 +76,22 @@ func ParallelOptimize(jobs []ParallelJob, workers int) []ParallelResult {
 // runs one search, and the other N-1 results are shared copies with
 // Stats.Coalesced set. The worker pool is sized to the number of unique
 // jobs, never larger.
+//
+// When every job is tree-form over the same model and the same Options
+// with Search.ShareMemo set, the batch instead optimizes over one
+// shared memo (see sharedMemoOptimize): overlapping queries share
+// exploration and winners, counted in Stats.SharedGroups and
+// Stats.SharedWinners, and the whole batch runs under one armed Budget.
+// Any batch not meeting those conditions runs the shared-nothing pool
+// above, bit-identical to independent optimization.
 func ParallelOptimizeCtx(ctx context.Context, jobs []ParallelJob, workers int) []ParallelResult {
 	results := make([]ParallelResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
+	}
+
+	if sharedMemoBatch(jobs) {
+		return sharedMemoOptimize(ctx, jobs)
 	}
 
 	unique, primary := coalesceJobs(jobs)
@@ -173,6 +185,67 @@ func coalesceJobs(jobs []ParallelJob) (unique []int, primary []int) {
 		unique = append(unique, i)
 	}
 	return unique, primary
+}
+
+// sharedMemoBatch reports whether the batch qualifies for the
+// shared-memo path: every job tree-form, over the same model and the
+// same Options (by pointer), with Search.ShareMemo set.
+func sharedMemoBatch(jobs []ParallelJob) bool {
+	opts := jobs[0].Options
+	if opts == nil || !opts.Search.ShareMemo {
+		return false
+	}
+	model := jobs[0].Model
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Build != nil || j.Tree == nil || j.Model != model || j.Options != opts {
+			return false
+		}
+	}
+	return true
+}
+
+// sharedMemoOptimize runs a qualifying batch over one shared memo: all
+// query trees are inserted into a single optimizer's memo — from one
+// goroutine per job when the configuration runs more than one search
+// worker, exercising the same write-locked path a concurrent search
+// uses — and the root goals are optimized together by OptimizeBatchCtx.
+// Duplicate queries need no special casing: their trees collapse to the
+// same class on insertion and the second root consumes the first's
+// winner warm.
+//
+// Every result carries the batch's shared Stats (SharedGroups,
+// SharedWinners, and the combined effort counters); per-job effort is
+// not separable once the work is shared.
+func sharedMemoOptimize(ctx context.Context, jobs []ParallelJob) []ParallelResult {
+	results := make([]ParallelResult, len(jobs))
+	o := NewOptimizer(jobs[0].Model, jobs[0].Options)
+	roots := make([]GroupID, len(jobs))
+	reqs := make([]PhysProps, len(jobs))
+	for i := range jobs {
+		reqs[i] = jobs[i].Required
+	}
+	if o.opts.Search.Workers > 1 && len(jobs) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(jobs))
+		for i := range jobs {
+			go func(i int) {
+				defer wg.Done()
+				roots[i] = o.memo.InsertTreeConcurrent(jobs[i].Tree, InvalidGroup)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range jobs {
+			roots[i] = o.InsertQuery(jobs[i].Tree)
+		}
+	}
+	plans, err := o.OptimizeBatchCtx(ctx, roots, reqs)
+	stats := *o.Stats()
+	for i := range results {
+		results[i] = ParallelResult{Plan: plans[i], Err: err, Stats: stats}
+	}
+	return results
 }
 
 // runJob executes one job on a fresh optimizer.

@@ -308,10 +308,25 @@ type searchEngine struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
+	// batch, when non-nil, makes this a multi-root engine: each root
+	// task records its decision into its own slot and the engine stops
+	// when the last slot fills. Nil for single-root searches, whose
+	// result goes through stop directly.
+	batch *batchRoots
+
 	// Result, written once by stop before done closes.
 	resPlan      *Plan
 	resTransient bool
 	err          error
+}
+
+// batchRoots holds the per-root result slots of a multi-root search
+// (see parallelSearchBatch). Slots are written by whichever worker
+// decides each root; remaining counts undecided roots.
+type batchRoots struct {
+	remaining atomic.Int64
+	plans     []*Plan
+	transient []bool
 }
 
 func (eng *searchEngine) isDone() bool {

@@ -569,12 +569,17 @@ func (t *optimizeMoveTask) pursueEnforcer(w *searchWorker) bool {
 
 // rootTask carries the caller's goal into the engine: it resolves the
 // root goal, parking on its claim like any subscriber, and publishes
-// the decisive answer as the engine's result.
+// the decisive answer as the engine's result. A multi-root engine
+// (batch non-nil) runs one rootTask per query root; each decides at
+// most once, into its own slot.
 type rootTask struct {
 	gid       GroupID
 	required  PhysProps
 	limit     Cost
 	inclusive bool
+	// idx is this root's slot in the engine's batchRoots; unused for
+	// single-root engines.
+	idx int
 	// sawTransient: the root goal's run released without a definitive
 	// outcome; re-claiming would re-enter the same cycle, so the search
 	// reports a transient failure, as the sequential engine does.
@@ -604,7 +609,7 @@ func (t *rootTask) exec(w *searchWorker) {
 	}
 	if t.sawTransient {
 		m.mu.RUnlock()
-		eng.stop(nil, true, nil)
+		t.decide(eng, nil, true)
 		return
 	}
 	var p *Plan
@@ -627,12 +632,30 @@ func (t *rootTask) exec(w *searchWorker) {
 	m.mu.RUnlock()
 	switch st {
 	case goalDecided:
-		eng.stop(p, false, nil)
+		t.decide(eng, p, false)
 	case goalCycle:
-		eng.stop(nil, true, nil)
+		t.decide(eng, nil, true)
 	case goalPending:
 		// Parked on the root goal's claim; re-enqueued when it
 		// releases.
+	}
+}
+
+// decide publishes this root's outcome. On a single-root engine it is
+// the search result and stops the engine; on a multi-root engine it
+// fills the root's slot, and the engine stops when every root has
+// decided. Each rootTask reaches a decision at most once: after
+// deciding it is never re-submitted.
+func (t *rootTask) decide(eng *searchEngine, p *Plan, transient bool) {
+	b := eng.batch
+	if b == nil {
+		eng.stop(p, transient, nil)
+		return
+	}
+	b.plans[t.idx] = p
+	b.transient[t.idx] = transient
+	if b.remaining.Add(-1) == 0 {
+		eng.stop(nil, false, nil)
 	}
 }
 
@@ -643,9 +666,41 @@ func (t *rootTask) exec(w *searchWorker) {
 // preserved, so the winner tables the call leaves behind are reusable
 // by later (sequential or parallel) stages on the same memo.
 func (o *Optimizer) parallelSearch(root GroupID, required PhysProps, limit Cost, inclusive bool) (*Plan, bool) {
-	m := o.memo
+	eng := o.newSearchEngine(o.opts.Search.Workers)
+	eng.submit(&rootTask{gid: root, required: required, limit: limit, inclusive: inclusive}, nil)
+	o.runSearchEngine(eng)
+	return eng.resPlan, eng.resTransient
+}
+
+// parallelSearchBatch is parallelSearch for a batch of roots sharing
+// the memo (ParallelOptimizeCtx with Search.ShareMemo): one engine, one
+// rootTask per query root, all roots racing over the same winner and
+// failure tables so a goal claimed for one root answers every other
+// root warm. It returns one (plan, transient) pair per root; a nil,
+// non-transient plan means no plan exists within the limit.
+func (o *Optimizer) parallelSearchBatch(roots []GroupID, required []PhysProps, limit Cost) ([]*Plan, []bool) {
 	n := o.opts.Search.Workers
-	eng := &searchEngine{o: o, m: m, done: make(chan struct{})}
+	if n < 1 {
+		// Unlike single-root searches, which fall back to the exact
+		// sequential recursion, a batch always runs the task engine: the
+		// multi-root claim/subscribe protocol is the sharing mechanism.
+		n = 1
+	}
+	eng := o.newSearchEngine(n)
+	b := &batchRoots{plans: make([]*Plan, len(roots)), transient: make([]bool, len(roots))}
+	b.remaining.Store(int64(len(roots)))
+	eng.batch = b
+	for i := range roots {
+		eng.submit(&rootTask{gid: roots[i], required: required[i], limit: limit, inclusive: true, idx: i}, nil)
+	}
+	o.runSearchEngine(eng)
+	return b.plans, b.transient
+}
+
+// newSearchEngine builds an engine and its n-worker pool, wiring worker
+// budgets to the shared step counter.
+func (o *Optimizer) newSearchEngine(n int) *searchEngine {
+	eng := &searchEngine{o: o, m: o.memo, done: make(chan struct{})}
 	eng.cond = sync.NewCond(&eng.schedMu)
 	eng.workers = make([]*searchWorker, n)
 	for i := range eng.workers {
@@ -660,10 +715,18 @@ func (o *Optimizer) parallelSearch(root GroupID, required PhysProps, limit Cost,
 		// same MaxSteps bound.
 		eng.sharedSteps.Store(int64(o.bud.steps))
 	}
+	return eng
+}
+
+// runSearchEngine starts the pool, blocks until the engine stops, and
+// restores the memo to sequential-use invariants. Tasks submitted
+// before the call sit in deques untouched — nothing executes until the
+// workers start here.
+func (o *Optimizer) runSearchEngine(eng *searchEngine) {
+	m := o.memo
 	m.concurrent = true
-	eng.submit(&rootTask{gid: root, required: required, limit: limit, inclusive: inclusive}, nil)
 	var wg sync.WaitGroup
-	wg.Add(n)
+	wg.Add(len(eng.workers))
 	for _, w := range eng.workers {
 		go func(w *searchWorker) {
 			defer wg.Done()
@@ -694,5 +757,4 @@ func (o *Optimizer) parallelSearch(root GroupID, required PhysProps, limit Cost,
 	if eng.err != nil && m.err == nil {
 		m.err = eng.err
 	}
-	return eng.resPlan, eng.resTransient
 }

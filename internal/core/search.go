@@ -345,12 +345,16 @@ func (o *Optimizer) findBestPlan(gid GroupID, required, excluded PhysProps, limi
 	w.inProgress = true
 	defer func() {
 		w.inProgress = false
-		// The class may have merged away mid-search; release the
-		// surviving entry too.
-		if cur := o.memo.Group(gid); cur != g {
-			if cw := cur.lookupWinnerKeyed(wk, required, excluded); cw != nil {
-				cw.inProgress = false
-			}
+		// The class may have merged away mid-search, carrying the
+		// in-progress mark onto the representative's entry; release that
+		// surviving entry too. The comparison must be against the entry
+		// itself, not the group: the fixpoint loop reassigns g to the
+		// representative, so a group comparison never sees the merge and
+		// the carried mark would pin the goal "in progress" forever —
+		// every later optimization of an equivalent root would read the
+		// stale mark as a cycle and report no plan.
+		if cw := o.memo.Group(gid).lookupWinnerKeyed(wk, required, excluded); cw != nil && cw != w {
+			cw.inProgress = false
 		}
 	}()
 	o.stats.GoalsOptimized++

@@ -23,6 +23,12 @@ type Options struct {
 	// NoFusion disables scan-filter fusion, keeping every operator
 	// boundary a data transfer (the row-engine A/B baseline).
 	NoFusion bool
+	// Spools is the shared store the Materialize/Reuse operators of one
+	// multi-query batch communicate through; every plan of the batch
+	// must be built and run against the same store, in batch order. Nil
+	// gets a private per-build store, which only suffices when a plan
+	// contains its own Materialize nodes.
+	Spools *SpoolStore
 }
 
 // BuildPlan translates an optimizer plan into an iterator tree over the
@@ -171,6 +177,15 @@ type builder struct {
 type exchEntry struct {
 	state  *exchangeState
 	schema *Schema
+}
+
+// spools returns the batch's shared spool store, creating a private one
+// on first use when the caller supplied none.
+func (b *builder) spools() *SpoolStore {
+	if b.opts.Spools == nil {
+		b.opts.Spools = NewSpoolStore()
+	}
+	return b.opts.Spools
 }
 
 // bind substitutes bound parameter values into predicates.
@@ -368,6 +383,20 @@ func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error
 		}
 		idx := op.ChooseAlternative(b.params[op.Pred.Param-1])
 		return b.build(plan.Inputs[idx], part)
+
+	case *relopt.Materialize:
+		in, ins, err := b.build(plan.Inputs[0], part)
+		if err != nil {
+			return nil, nil, err
+		}
+		return NewMaterialize(b.spools(), int(op.ID), in, ins), ins, nil
+
+	case *relopt.Reuse:
+		r, rs, err := NewReuse(b.spools(), int(op.ID))
+		if err != nil {
+			return nil, nil, err
+		}
+		return r, rs, nil
 
 	case *relopt.Exchange:
 		if part < 0 {

@@ -1,0 +1,81 @@
+package exec
+
+import "testing"
+
+// countingIter counts how many times the producer is drained.
+type countingIter struct {
+	sliceIter
+	opens int
+}
+
+func (c *countingIter) Open() error { c.opens++; return c.sliceIter.Open() }
+
+func TestSpoolComputesOnce(t *testing.T) {
+	prod := &countingIter{sliceIter: sliceIter{rows: []Row{{1, 10}, {2, 20}, {3, 30}}}}
+	st := NewSpoolStore()
+	mat := NewMaterialize(st, 7, prod, schema2())
+	reuse, rs, err := NewReuse(st, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs != schema2() && len(rs.Cols) != 2 {
+		t.Fatalf("reuse schema = %v", rs)
+	}
+
+	// The reuse consumer opening first must trigger the one fill.
+	out1, err := Collect(reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := Collect(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1) != 3 || len(out2) != 3 {
+		t.Fatalf("rows: reuse %d, materialize %d, want 3 each", len(out1), len(out2))
+	}
+	for i := range out1 {
+		if out1[i][0] != out2[i][0] || out1[i][1] != out2[i][1] {
+			t.Fatalf("row %d: reuse %v != materialize %v", i, out1[i], out2[i])
+		}
+	}
+	if prod.opens != 1 {
+		t.Fatalf("producer drained %d times, want 1", prod.opens)
+	}
+
+	// Re-opening either consumer rescans the spool without refilling.
+	out3, err := Collect(reuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out3) != 3 || prod.opens != 1 {
+		t.Fatalf("reopen: %d rows, %d producer opens", len(out3), prod.opens)
+	}
+}
+
+func TestReuseBeforeMaterialize(t *testing.T) {
+	st := NewSpoolStore()
+	if _, _, err := NewReuse(st, 3); err == nil {
+		t.Fatal("reuse of an unregistered spool built without error")
+	}
+}
+
+func TestSpoolRegisterIdempotent(t *testing.T) {
+	prod := &countingIter{sliceIter: sliceIter{rows: []Row{{1, 10}}}}
+	st := NewSpoolStore()
+	m1 := NewMaterialize(st, 1, prod, schema2())
+	// A rebuild of the same plan re-registers the same spool; both
+	// carriers must share one entry and one fill.
+	m2 := NewMaterialize(st, 1, prod, schema2())
+	o1, err := Collect(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Collect(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o1) != 1 || len(o2) != 1 || prod.opens != 1 {
+		t.Fatalf("rows %d/%d, producer opens %d", len(o1), len(o2), prod.opens)
+	}
+}

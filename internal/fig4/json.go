@@ -22,6 +22,8 @@ type BenchReport struct {
 	Spar *SparResult `json:"spar,omitempty"`
 	// E2E holds the end-to-end optimize-and-execute engine A/B, when run.
 	E2E *E2EResult `json:"e2e,omitempty"`
+	// MQO holds the shared-memo multi-query optimization A/B, when run.
+	MQO *MQOResult `json:"mqo,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.

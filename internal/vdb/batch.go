@@ -1,0 +1,125 @@
+package vdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/relopt"
+	"repro/internal/sqlish"
+)
+
+// BatchResult is the outcome of one QueryBatch call.
+type BatchResult struct {
+	// Results holds one executed query per statement, in input order.
+	Results []*Result
+	// Stats are the shared optimization's counters, including
+	// SharedGroups and SharedWinners; per-query effort is not separable
+	// once the search is shared, so every Result carries this same
+	// value.
+	Stats core.Stats
+	// Spools is the number of Materialize/Reuse pairs the cost-based
+	// post-pass introduced: shared subplans computed once and rescanned
+	// instead of recomputed.
+	Spools int
+}
+
+// PrepareBatch optimizes a batch of fully specified statements over one
+// shared memo without executing them; see QueryBatchCtx for the
+// sharing contract. The returned plans must be executed in order
+// against one exec.SpoolStore (exec.Options.Spools) whenever Spools is
+// non-zero.
+func (db *DB) PrepareBatch(sqls []string) ([]*core.Plan, *BatchResult, error) {
+	return db.PrepareBatchCtx(context.Background(), sqls)
+}
+
+// PrepareBatchCtx is PrepareBatch under a context.
+func (db *DB) PrepareBatchCtx(ctx context.Context, sqls []string) ([]*core.Plan, *BatchResult, error) {
+	if len(sqls) == 0 {
+		return nil, &BatchResult{}, nil
+	}
+	opts := db.opts.Search
+	opts.Search.ShareMemo = true
+	// Guided search seeds one root's cost limit; the multi-root batch
+	// engine has no per-root limits to seed, so the batch path always
+	// runs unguided.
+	opts.Guidance.SeedPlanner = nil
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	model := relopt.New(db.cat, db.opts.Config)
+	jobs := make([]core.ParallelJob, len(sqls))
+	for i, sql := range sqls {
+		st, err := sqlish.Parse(db.cat, sql)
+		if err != nil {
+			return nil, nil, fmt.Errorf("vdb: batch statement %d: %w", i, err)
+		}
+		if countParams(st.Tree) != 0 {
+			return nil, nil, fmt.Errorf("vdb: batch statement %d: batch queries must be fully specified", i)
+		}
+		jobs[i] = core.ParallelJob{Model: model, Options: &opts, Tree: st.Tree, Required: st.Required}
+	}
+	rs := core.ParallelOptimizeCtx(ctx, jobs, 1)
+	plans := make([]*core.Plan, len(rs))
+	out := &BatchResult{}
+	var degraded error
+	for i := range rs {
+		r := &rs[i]
+		if r.Err != nil {
+			if r.Plan == nil || !errors.Is(r.Err, core.ErrBudget) {
+				return nil, nil, fmt.Errorf("vdb: batch statement %d: %w", i, r.Err)
+			}
+			degraded = r.Err
+		}
+		if r.Plan == nil {
+			return nil, nil, fmt.Errorf("vdb: batch statement %d: no plan satisfies the query", i)
+		}
+		plans[i] = r.Plan
+		out.Stats = r.Stats
+	}
+	plans, out.Spools = core.MaterializeSharedPlans(model, plans)
+	out.Stats.StopReason = degraded
+	return plans, out, nil
+}
+
+// QueryBatch optimizes and executes a batch of fully specified
+// statements as one unit; see QueryBatchCtx.
+func (db *DB) QueryBatch(sqls []string) (*BatchResult, error) {
+	return db.QueryBatchCtx(context.Background(), sqls)
+}
+
+// QueryBatchCtx optimizes a batch of fully specified statements over
+// one shared memo — overlapping queries share exploration and winners —
+// applies the cost-based Materialize/Reuse post-pass, and executes the
+// plans in order against a batch-shared spool store, so a subplan
+// common to several queries is computed once and rescanned by the rest.
+// Results are returned in statement order; every result's multiset is
+// identical to running the statement alone. The configured
+// Search.Budget bounds the whole batch; a budget stop degrades each
+// query to its best known plan (Result.Degraded), as single-statement
+// queries do. The plan cache is bypassed: sharing decisions are
+// batch-relative and a Reuse plan is only valid within its batch.
+func (db *DB) QueryBatchCtx(ctx context.Context, sqls []string) (*BatchResult, error) {
+	plans, out, err := db.PrepareBatchCtx(ctx, sqls)
+	if err != nil {
+		return nil, err
+	}
+	execOpts := db.opts.Exec
+	execOpts.Spools = exec.NewSpoolStore()
+	for i, p := range plans {
+		rows, schema, err := exec.RunOpts(ctx, db.data, p, nil, execOpts)
+		if err != nil {
+			return nil, fmt.Errorf("vdb: batch statement %d: %w", i, err)
+		}
+		out.Results = append(out.Results, &Result{
+			Rows:     rows,
+			Columns:  columnNames(db.cat, schema),
+			Plan:     p,
+			Stats:    out.Stats,
+			Degraded: out.Stats.StopReason,
+		})
+	}
+	return out, nil
+}

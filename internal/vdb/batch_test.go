@@ -1,0 +1,101 @@
+package vdb_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// rowKey renders a row for order-insensitive multiset comparison.
+func rowKey(r exec.Row) string { return fmt.Sprintf("%v", r) }
+
+func sortedKeys(rows []exec.Row) []string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = rowKey(r)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestQueryBatchMatchesSingle: a batch of overlapping statements run
+// through the shared memo and the Materialize/Reuse post-pass returns,
+// per statement, exactly the rows the statement returns alone.
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	db := openDemo(t)
+	sqls := []string{
+		"SELECT R1.ja, COUNT(*) FROM R1, R2 WHERE R1.ja = R2.ja GROUP BY R1.ja",
+		"SELECT R1.id, R1.ja FROM R1, R2 WHERE R1.ja = R2.ja ORDER BY R1.id",
+		"SELECT R1.id, R1.ja FROM R1 WHERE R1.v < 500 ORDER BY R1.ja",
+		"SELECT R1.ja, COUNT(*) FROM R1, R2 WHERE R1.ja = R2.ja GROUP BY R1.ja",
+	}
+	batch, err := db.QueryBatch(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != len(sqls) {
+		t.Fatalf("%d results for %d statements", len(batch.Results), len(sqls))
+	}
+	for i, sql := range sqls {
+		solo, err := db.Query(sql)
+		if err != nil {
+			t.Fatalf("single statement %d: %v", i, err)
+		}
+		got, want := sortedKeys(batch.Results[i].Rows), sortedKeys(solo.Rows)
+		if len(got) != len(want) {
+			t.Fatalf("statement %d: %d rows in batch, %d alone", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("statement %d row %d: batch %q != solo %q", i, j, got[j], want[j])
+			}
+		}
+	}
+	// Two statements are verbatim duplicates and two more share the
+	// R1 ⋈ R2 join, so the shared memo must report overlap.
+	if batch.Stats.SharedGroups == 0 {
+		t.Error("overlapping batch reports no shared groups")
+	}
+	for _, r := range batch.Results {
+		if r.Degraded != nil {
+			t.Errorf("unbudgeted batch degraded: %v", r.Degraded)
+		}
+	}
+}
+
+// TestQueryBatchRejectsParams: batch statements must be fully
+// specified — placeholders have no binding step in the batch API.
+func TestQueryBatchRejectsParams(t *testing.T) {
+	db := openDemo(t)
+	_, err := db.QueryBatch([]string{"SELECT R1.id FROM R1 WHERE R1.v < ?"})
+	if err == nil {
+		t.Fatal("parameterized batch statement accepted")
+	}
+}
+
+// TestPrepareBatchPlansExecutable: PrepareBatch's plans execute against
+// one shared spool store in statement order.
+func TestPrepareBatchPlansExecutable(t *testing.T) {
+	db := openDemo(t)
+	sqls := []string{
+		"SELECT R1.id, R1.ja FROM R1, R2 WHERE R1.ja = R2.ja ORDER BY R1.id",
+		"SELECT R1.ja, COUNT(*) FROM R1, R2 WHERE R1.ja = R2.ja GROUP BY R1.ja",
+	}
+	plans, batch, err := db.PrepareBatch(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(sqls) {
+		t.Fatalf("%d plans for %d statements", len(plans), len(sqls))
+	}
+	if batch.Stats.SharedGroups == 0 {
+		t.Error("overlapping prepare reports no shared groups")
+	}
+	for i, p := range plans {
+		if p == nil {
+			t.Fatalf("statement %d: nil plan", i)
+		}
+	}
+}

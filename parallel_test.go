@@ -4,6 +4,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -165,4 +166,112 @@ func TestRelOptIncrementalMatchesFromScratch(t *testing.T) {
 	}
 	t.Logf("match calls: incremental=%d from-scratch=%d (%.1f%%)",
 		incMatches, scrMatches, 100*float64(incMatches)/float64(scrMatches))
+}
+
+// TestParallelOptimizeBudgetIsolation: budgets are per job, not per
+// pool. One job with a one-step budget must degrade (or fail) alone;
+// its unbudgeted siblings must all complete with optimal plans, whether
+// or not they share the pool's workers with the starved job.
+func TestParallelOptimizeBudgetIsolation(t *testing.T) {
+	src := datagen.New(47)
+	cat := src.Catalog(5)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	var queries []datagen.Query
+	for q := 0; q < 6; q++ {
+		queries = append(queries, src.SelectJoinQuery(cat, 4, datagen.ShapeRandom))
+	}
+
+	serial := make([]float64, len(queries))
+	for i, q := range queries {
+		opt := core.NewOptimizer(model, nil)
+		plan, err := opt.Optimize(opt.InsertQuery(q.Root), relopt.SortedOn(q.OrderBy))
+		if err != nil || plan == nil {
+			t.Fatalf("serial optimize %d: %v", i, err)
+		}
+		serial[i] = plan.Cost.(relopt.Cost).Total()
+	}
+
+	starved := &core.Options{}
+	starved.Budget.MaxSteps = 1
+	for _, workers := range []int{1, 4} {
+		jobs := make([]core.ParallelJob, len(queries))
+		for i := range jobs {
+			q := queries[i]
+			jobs[i] = core.ParallelJob{
+				Model:    model,
+				Tree:     q.Root,
+				Required: relopt.SortedOn(q.OrderBy),
+			}
+		}
+		jobs[0].Options = starved
+		results := core.ParallelOptimize(jobs, workers)
+		if !errors.Is(results[0].Err, core.ErrBudget) {
+			t.Errorf("workers=%d: starved job err = %v, want ErrBudget", workers, results[0].Err)
+		}
+		for i := 1; i < len(results); i++ {
+			r := results[i]
+			if r.Err != nil || r.Plan == nil {
+				t.Fatalf("workers=%d sibling %d: plan=%v err=%v — sibling caught the starved job's budget",
+					workers, i, r.Plan, r.Err)
+			}
+			if got := r.Plan.Cost.(relopt.Cost).Total(); got != serial[i] {
+				t.Errorf("workers=%d sibling %d: cost %v != serial %v", workers, i, got, serial[i])
+			}
+		}
+	}
+}
+
+// TestSharedMemoBatchMatchesIndependent: a ShareMemo batch over
+// overlapping relational queries returns, per query, exactly the
+// independently optimized cost, and reports the sharing it found.
+func TestSharedMemoBatchMatchesIndependent(t *testing.T) {
+	src := datagen.New(53)
+	cat := src.Catalog(4)
+	model := relopt.New(cat, relopt.DefaultConfig())
+
+	var queries []datagen.Query
+	for q := 0; q < 4; q++ {
+		queries = append(queries, src.SelectJoinQuery(cat, 3, datagen.ShapeChain))
+	}
+	// Duplicate one query verbatim so at least two roots collapse.
+	queries = append(queries, queries[0])
+
+	serial := make([]float64, len(queries))
+	for i, q := range queries {
+		opt := core.NewOptimizer(model, nil)
+		plan, err := opt.Optimize(opt.InsertQuery(q.Root), relopt.SortedOn(q.OrderBy))
+		if err != nil || plan == nil {
+			t.Fatalf("serial optimize %d: %v", i, err)
+		}
+		serial[i] = plan.Cost.(relopt.Cost).Total()
+	}
+
+	for _, workers := range []int{0, 4} {
+		opts := &core.Options{}
+		opts.Search.ShareMemo = true
+		opts.Search.Workers = workers
+		jobs := make([]core.ParallelJob, len(queries))
+		for i := range jobs {
+			q := queries[i]
+			jobs[i] = core.ParallelJob{
+				Model:    model,
+				Options:  opts,
+				Tree:     q.Root,
+				Required: relopt.SortedOn(q.OrderBy),
+			}
+		}
+		results := core.ParallelOptimize(jobs, 1)
+		for i, r := range results {
+			if r.Err != nil || r.Plan == nil {
+				t.Fatalf("workers=%d query %d: plan=%v err=%v", workers, i, r.Plan, r.Err)
+			}
+			if got := r.Plan.Cost.(relopt.Cost).Total(); got != serial[i] {
+				t.Errorf("workers=%d query %d: shared-memo cost %v != serial %v", workers, i, got, serial[i])
+			}
+			if r.Stats.SharedGroups == 0 {
+				t.Errorf("workers=%d query %d: batch with a duplicate query reports no shared groups", workers, i)
+			}
+		}
+	}
 }
