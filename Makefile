@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-mqo profile fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-mqo bench-serve profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,17 @@ bench-e2e:
 # against independent execution). Override ROWS for other scales.
 bench-mqo:
 	$(GO) run ./cmd/volcano-bench -experiment fig4mqo -rows $(ROWS) -json ""
+
+# Serving tier under open-loop load: an in-process volcano-serve daemon
+# measured unloaded, then at ~2× its estimated capacity. Every completed
+# response is gated against reference row fingerprints collected before
+# any load; volcano-bench exits non-zero on a mismatch. Override
+# SERVE_ROWS / SERVE_DURATION for other scales.
+SERVE_ROWS ?= 5000
+SERVE_DURATION ?= 3s
+bench-serve:
+	$(GO) run ./cmd/volcano-bench -experiment serve \
+		-serve-rows $(SERVE_ROWS) -serve-duration $(SERVE_DURATION) -json ""
 
 # CPU and heap profiles of the Figure-4 hot path (serial fig4 by
 # default; override EXPERIMENT=fig4spar etc. to profile another).

@@ -8,6 +8,7 @@
 //	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
 //	volcano-bench -experiment fig4mqo    # shared-memo multi-query optimization
 //	volcano-bench -experiment e2e        # optimize-and-execute engine A/B
+//	volcano-bench -experiment serve      # serving tier under open-loop load
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
 //	volcano-bench -experiment altprops  # alternative input property combinations
 //	volcano-bench -experiment memory    # < 1 MB work space claim
@@ -45,6 +46,14 @@
 // independent optimization, or if any shared-batch result multiset
 // diverges from independent execution.
 //
+// The serve experiment starts an in-process volcano-serve daemon over
+// generated tables (-serve-rows each), measures an unloaded open-loop
+// run, then offers roughly twice the tier's estimated capacity for
+// -serve-duration to exercise admission control, budget degradation,
+// and shedding. Every completed response is checked against reference
+// row fingerprints collected before any load; the experiment exits
+// non-zero on any mismatch.
+//
 // The fig4 experiment additionally writes a machine-readable report
 // (default BENCH_fig4.json; -json "" disables) so per-level optimization
 // time, plan cost, memo size, and search-effort counters can be tracked
@@ -65,7 +74,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | fig4mqo | e2e | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | fig4mqo | e2e | serve | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -79,6 +88,8 @@ func main() {
 	optSteps := flag.Int("max-steps", 0, "anytime per-query step budget in moves pursued (0 = sweep defaults)")
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers for fig4spar (0 = sweep 2,4,8)")
 	e2eRows := flag.Int64("rows", 1_000_000, "e2e target rows per generated table")
+	serveRows := flag.Int64("serve-rows", 5000, "serve experiment rows per generated table")
+	serveDuration := flag.Duration("serve-duration", 3*time.Second, "serve experiment length per phase")
 	batchSize := flag.Int("batch-size", 0, "e2e executor rows per batch (0 = default)")
 	execWorkers := flag.Int("exec-workers", 0, "e2e exchange producer goroutines (0 = one per partition)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
@@ -144,6 +155,7 @@ func main() {
 	var fig4Spar *fig4.SparResult
 	var fig4E2E *fig4.E2EResult
 	var fig4MQO *fig4.MQOResult
+	var fig4Serve *fig4.ServeResult
 
 	run := func(name string) {
 		switch name {
@@ -186,6 +198,22 @@ func main() {
 			}
 			if mqo.Mismatches > 0 {
 				fmt.Fprintf(os.Stderr, "volcano-bench: %d shared-batch results diverged from independent execution\n", mqo.Mismatches)
+				os.Exit(1)
+			}
+		case "serve":
+			res, err := fig4.RunServe(fig4.ServeConfig{
+				Seed:     *seed,
+				Rows:     *serveRows,
+				Duration: *serveDuration,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "volcano-bench: serve: %v\n", err)
+				os.Exit(1)
+			}
+			fig4Serve = &res
+			fmt.Print(fig4.FormatServe(res))
+			if res.Mismatches > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d loaded-server results diverged from the unloaded reference\n", res.Mismatches)
 				os.Exit(1)
 			}
 		case "fig4cache":
@@ -248,19 +276,20 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "fig4mqo", "e2e", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
+		for _, name := range []string{"fig4", "fig4guided", "fig4par", "fig4spar", "fig4cache", "fig4mqo", "e2e", "serve", "ablation", "altprops", "leftdeep", "heuristic", "setops", "memory", "anytime"} {
 			run(name)
 		}
 	} else {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil || fig4MQO != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil || fig4MQO != nil || fig4Serve != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
 		rep.Cache = fig4Cache
 		rep.Spar = fig4Spar
 		rep.E2E = fig4E2E
 		rep.MQO = fig4MQO
+		rep.Serve = fig4Serve
 		// Keep the sections of experiments this invocation did not rerun,
 		// and merge rerun levels into the existing per-level curve.
 		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
@@ -287,6 +316,9 @@ func main() {
 			}
 			if fig4MQO == nil {
 				rep.MQO = old.MQO
+			}
+			if fig4Serve == nil {
+				rep.Serve = old.Serve
 			}
 		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {

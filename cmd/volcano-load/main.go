@@ -1,0 +1,73 @@
+// Command volcano-load drives an open-loop load run against a
+// volcano-serve daemon and reports latency quantiles, throughput,
+// degraded-plan rate, cache-hit rate, and shed counts as JSON.
+//
+//	volcano-load -addr 127.0.0.1:8080 -rate 500 -duration 10s
+//
+// Before the measured run it executes every workload statement once
+// against the (presumed unloaded) daemon to collect reference row
+// fingerprints; any loaded response whose row multiset diverges counts
+// as a mismatch and fails the run (exit 1). The workload mix matches
+// the daemon's generated schema: chain equi-joins over R1..Rn with
+// selection, ordering, aggregate, and parameterized variants (-n must
+// not exceed the daemon's table count).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8080", "daemon address (host:port or URL)")
+		rate           = flag.Float64("rate", 200, "open-loop arrival rate, requests/second")
+		duration       = flag.Duration("duration", 10*time.Second, "measured run length")
+		n              = flag.Int("n", 8, "workload joins span tables R1..Rn")
+		statements     = flag.Int("statements", 16, "distinct statements in the workload mix")
+		timeoutMS      = flag.Int64("timeout-ms", 0, "per-request deadline sent to the daemon (0 = server default)")
+		maxOutstanding = flag.Int("max-outstanding", 0, "in-flight request cap (0 = 512)")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	workload := load.ChainWorkload(*n, *statements)
+
+	ref, err := load.Collect(context.Background(), base, nil, workload)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "volcano-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep, err := load.Run(context.Background(), load.Options{
+		BaseURL:        base,
+		Rate:           *rate,
+		Duration:       *duration,
+		MaxOutstanding: *maxOutstanding,
+		Workload:       workload,
+		Reference:      ref,
+		TimeoutMS:      *timeoutMS,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "volcano-load: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+	if rep.Mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "volcano-load: %d result mismatches under load\n", rep.Mismatches)
+		os.Exit(1)
+	}
+}

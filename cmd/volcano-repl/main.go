@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/metrics"
 	"repro/internal/rel"
 	"repro/internal/relopt"
 	"repro/internal/sqlish"
@@ -281,40 +282,22 @@ func (r *repl) batch(input string) {
 		len(res.Results), res.Stats.SharedGroups, res.Stats.SharedWinners, res.Spools)
 }
 
-// stats prints the last optimization's full counters.
+// stats prints the last optimization's counters plus the session's
+// cache and executor totals, through the same metrics.Snapshot schema
+// the volcano-serve /metrics endpoint renders.
 func (r *repl) stats() {
-	s := r.last
-	if s == nil {
+	if r.last == nil {
 		fmt.Println("no optimization has run yet")
 		return
 	}
-	fmt.Printf("memo:      %d classes, %d expressions, %d merges, peak %d bytes\n",
-		s.Groups, s.Exprs, s.Merges, s.PeakMemoBytes)
-	fmt.Printf("rules:     %d match calls, %d bindings, %d fired, %d moves reused\n",
-		s.MatchCalls, s.Bindings, s.RulesFired, s.MovesReused)
-	fmt.Printf("search:    %d goals, %d steps (%d algorithm + %d enforcer), %d pruned, %d skipped\n",
-		s.GoalsOptimized, s.Steps(), s.AlgorithmMoves, s.EnforcerMoves, s.Pruned, s.MovesSkipped)
-	fmt.Printf("lookups:   %d winner hits, %d failure hits, %d goals failed in-limit\n",
-		s.WinnerHits, s.FailureHits, s.GoalsPruned)
-	fmt.Printf("engine:    %d workers, %d tasks run, %d tasks parked\n",
-		s.SearchWorkers, s.TasksRun, s.TasksParked)
-	fmt.Printf("sharing:   %d shared classes, %d shared winner nodes\n",
-		s.SharedGroups, s.SharedWinners)
-	if s.SeedCost != nil {
-		fmt.Printf("guidance:  seed cost %v, %d limit stage(s)\n", s.SeedCost, s.LimitStages)
+	snap := metrics.Snapshot{Search: metrics.FromStats(*r.last)}
+	if c := r.db.PlanCache(); c != nil {
+		counters := c.Counters()
+		snap.Cache = &counters
 	}
-	if s.ConsistencyViolations > 0 {
-		fmt.Printf("CONSISTENCY VIOLATIONS: %d\n", s.ConsistencyViolations)
-	}
-	switch {
-	case s.CacheHit:
-		fmt.Println("result:    served from the plan cache")
-	case s.Coalesced:
-		fmt.Println("result:    coalesced with an identical in-flight optimization")
-	}
-	if s.StopReason != nil {
-		fmt.Printf("stopped:   %v (fallback plan: %v)\n", s.StopReason, s.AnytimeFallback)
-	}
+	execCounters := r.db.ExecCounters()
+	snap.Exec = &execCounters
+	fmt.Print(snap.Format())
 }
 
 func (r *repl) query(sql string) {
@@ -338,9 +321,9 @@ func (r *repl) query(sql string) {
 	if res.Stats.CacheHit {
 		fmt.Println("plan served from cache")
 	}
-	if res.Degraded != nil {
+	if res.Degraded {
 		fmt.Printf("degraded: %v after %d steps; ran best plan found\n",
-			res.Degraded, res.Stats.Steps())
+			res.StopReason, res.Stats.Steps())
 	}
 	if r.guided {
 		if res.Stats.SeedCost == nil {

@@ -1,0 +1,108 @@
+// Command volcano-serve runs the network serving tier: an HTTP/JSON
+// daemon over a generated demo database, with per-request deadlines,
+// admission control, and overload degradation (see internal/serve).
+//
+//	volcano-serve -addr 127.0.0.1:8080 -n 8 -rows 10000
+//
+// Endpoints (all POST, JSON bodies; see internal/serve.Request):
+//
+//	/query    {"sql": "...", "params": [..], "timeout_ms": 500}
+//	/explain  {"sql": "..."}
+//	/prepare  {"sql": "..."}
+//	/batch    {"statements": ["...", "..."]}
+//	/metrics  GET — one JSON snapshot of search, cache, exec, and
+//	          admission counters plus per-endpoint latency quantiles
+//	/healthz  GET
+//
+// -addr-file writes the bound address to a file once listening, so
+// harnesses can use "-addr 127.0.0.1:0" and discover the chosen port.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/serve"
+	"repro/internal/vdb"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks one)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		n          = flag.Int("n", 8, "number of generated tables R1..Rn")
+		rows       = flag.Int64("rows", 1000, "rows per generated table")
+		seed       = flag.Int64("seed", 42, "data generator seed")
+		cacheBytes = flag.Int64("cache-bytes", 4<<20, "plan cache budget in bytes (0 disables)")
+
+		maxConcurrent  = flag.Int("max-concurrent", 0, "admission slots (0 = 4×GOMAXPROCS)")
+		queueTimeout   = flag.Duration("queue-timeout", 0, "bounded admission wait (0 = 25ms)")
+		degradeFrac    = flag.Float64("degrade-frac", 0, "inflight fraction at which admits degrade (0 = 0.75)")
+		defaultTimeout = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = 2s)")
+	)
+	flag.Parse()
+
+	src := datagen.New(*seed)
+	cat := src.ScaledCatalog(*n, *rows)
+	db := vdb.Open(cat, src.Rows(cat), &vdb.Options{
+		Guided:     true,
+		CacheBytes: *cacheBytes,
+	})
+	s := serve.New(db, &serve.Config{
+		MaxConcurrent:  *maxConcurrent,
+		QueueTimeout:   *queueTimeout,
+		DegradeFrac:    *degradeFrac,
+		DefaultTimeout: *defaultTimeout,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "volcano-serve: %v\n", err)
+		os.Exit(1)
+	}
+	bound := l.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cfg := s.Config()
+	fmt.Printf("volcano-serve: listening on %s (%d tables × %d rows, %d slots, degrade at %.0f%%)\n",
+		bound, *n, *rows, cfg.MaxConcurrent, 100*cfg.DegradeFrac)
+
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Println("volcano-serve: draining")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "volcano-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		<-done
+	}
+	snap := s.Metrics()
+	if v := snap.Serve; v != nil {
+		fmt.Printf("volcano-serve: served %d (%d degraded), shed %d, %d errors\n",
+			v.Admitted, v.DegradedAdmits, v.Shed, v.Errors)
+	}
+}

@@ -86,9 +86,11 @@ func RunParams(db *DB, plan *core.Plan, params []int64) ([]Row, *Schema, error) 
 func RunOpts(ctx context.Context, db *DB, plan *core.Plan, params []int64, opts Options) ([]Row, *Schema, error) {
 	it, schema, err := BuildPlanOpts(ctx, db, plan, params, opts)
 	if err != nil {
+		db.countRun(0, err)
 		return nil, nil, err
 	}
 	rows, err := CollectSized(it, rowsHint(plan))
+	db.countRun(len(rows), err)
 	return rows, schema, err
 }
 

@@ -10,6 +10,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/rel"
 )
@@ -91,6 +92,46 @@ func (t *Table) compact() {
 // DB holds the stored relations of a database instance.
 type DB struct {
 	tables map[string]*Table
+
+	// Cumulative execution counters, maintained atomically so
+	// concurrent queries over one instance can share them.
+	queries atomic.Int64
+	rows    atomic.Int64
+	errors  atomic.Int64
+}
+
+// Counters are a database instance's cumulative execution statistics:
+// every Run/RunOpts drain over the instance counts one query and its
+// result rows, or one error when the drain (or the plan build) failed —
+// including cancellation. Callers driving iterators directly through
+// BuildPlan/Collect are not counted.
+type Counters struct {
+	// Queries is the number of plans drained to completion.
+	Queries int64 `json:"queries"`
+	// Rows is the total number of result rows returned.
+	Rows int64 `json:"rows"`
+	// Errors is the number of runs that failed, including context
+	// cancellation mid-drain.
+	Errors int64 `json:"errors"`
+}
+
+// Counters snapshots the instance's cumulative execution statistics.
+func (db *DB) Counters() Counters {
+	return Counters{
+		Queries: db.queries.Load(),
+		Rows:    db.rows.Load(),
+		Errors:  db.errors.Load(),
+	}
+}
+
+// countRun records one Run* outcome.
+func (db *DB) countRun(rows int, err error) {
+	if err != nil {
+		db.errors.Add(1)
+		return
+	}
+	db.queries.Add(1)
+	db.rows.Add(int64(rows))
 }
 
 // NewDB creates an empty database.

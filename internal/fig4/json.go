@@ -24,6 +24,8 @@ type BenchReport struct {
 	E2E *E2EResult `json:"e2e,omitempty"`
 	// MQO holds the shared-memo multi-query optimization A/B, when run.
 	MQO *MQOResult `json:"mqo,omitempty"`
+	// Serve holds the serving-tier load measurements, when run.
+	Serve *ServeResult `json:"serve,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.

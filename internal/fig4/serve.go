@@ -1,0 +1,183 @@
+package fig4
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/load"
+	"repro/internal/serve"
+	"repro/internal/vdb"
+)
+
+// ServeConfig shapes the serving-tier experiment. Zero fields get
+// defaults.
+type ServeConfig struct {
+	Seed   int64
+	Tables int   // generated tables R1..Rn
+	Rows   int64 // rows per table
+	// CacheBytes is the daemon's plan-cache budget.
+	CacheBytes int64
+	// MaxConcurrent is the daemon's admission capacity (0 = serve
+	// default).
+	MaxConcurrent int
+	// Statements is the workload mix size; Duration is the length of
+	// each measured phase (unloaded, then loaded).
+	Statements int
+	Duration   time.Duration
+}
+
+func (c ServeConfig) defaults() ServeConfig {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Tables == 0 {
+		c.Tables = 6
+	}
+	if c.Rows == 0 {
+		c.Rows = 5000
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 4 << 20
+	}
+	if c.Statements == 0 {
+		c.Statements = 16
+	}
+	if c.Duration == 0 {
+		c.Duration = 3 * time.Second
+	}
+	return c
+}
+
+// ServeResult is the serving-tier experiment's report section: one
+// open-loop run against an unloaded daemon and one at roughly twice
+// the tier's measured capacity, both gated on reference row
+// fingerprints collected before any load. Mismatches is the result
+// gate: any non-zero value means a plan served under pressure
+// (degraded, cached, or coalesced) returned different rows than the
+// unloaded server.
+type ServeResult struct {
+	Tables        int   `json:"tables"`
+	Rows          int64 `json:"rows"`
+	MaxConcurrent int   `json:"max_concurrent"`
+	// UnloadedRPS / LoadedRPS are the offered (not achieved) rates.
+	UnloadedRPS float64      `json:"unloaded_rps"`
+	LoadedRPS   float64      `json:"loaded_rps"`
+	Unloaded    *load.Report `json:"unloaded"`
+	Loaded      *load.Report `json:"loaded"`
+	// Mismatches sums both phases' result mismatches.
+	Mismatches int64 `json:"mismatches"`
+}
+
+// RunServe starts an in-process volcano-serve daemon on a loopback
+// port (the full HTTP path, not a handler shortcut), collects
+// reference fingerprints for the workload, measures an unloaded
+// open-loop run, estimates the tier's capacity from its mean service
+// time, and then offers roughly twice that capacity to observe the
+// overload ladder: degraded plans, plan-cache serving, and shedding —
+// while the reference gate proves every completed response identical
+// to the unloaded server's.
+func RunServe(cfg ServeConfig) (ServeResult, error) {
+	cfg = cfg.defaults()
+	out := ServeResult{Tables: cfg.Tables, Rows: cfg.Rows}
+
+	src := datagen.New(cfg.Seed)
+	cat := src.ScaledCatalog(cfg.Tables, cfg.Rows)
+	db := vdb.Open(cat, src.Rows(cat), &vdb.Options{
+		Guided:     true,
+		CacheBytes: cfg.CacheBytes,
+	})
+	s := serve.New(db, &serve.Config{MaxConcurrent: cfg.MaxConcurrent})
+	out.MaxConcurrent = s.Config().MaxConcurrent
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return out, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		<-done
+	}()
+	base := "http://" + l.Addr().String()
+
+	workload := load.ChainWorkload(cfg.Tables, cfg.Statements)
+	ref, err := load.Collect(context.Background(), base, nil, workload)
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 1: a light open-loop run far below capacity.
+	out.UnloadedRPS = 50
+	out.Unloaded, err = load.Run(context.Background(), load.Options{
+		BaseURL:   base,
+		Rate:      out.UnloadedRPS,
+		Duration:  cfg.Duration,
+		Workload:  workload,
+		Reference: ref,
+	})
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 2: offer about twice the tier's capacity. Capacity is
+	// slots divided by mean service time; the unloaded mean latency is
+	// the service-time estimate (no queueing at 50 rps).
+	meanUS := out.Unloaded.Latency.MeanUS
+	if meanUS <= 0 {
+		meanUS = 1000
+	}
+	capacity := float64(out.MaxConcurrent) / (meanUS / 1e6)
+	out.LoadedRPS = 2 * capacity
+	if out.LoadedRPS < 100 {
+		out.LoadedRPS = 100
+	}
+	if out.LoadedRPS > 5000 {
+		out.LoadedRPS = 5000
+	}
+	out.Loaded, err = load.Run(context.Background(), load.Options{
+		BaseURL:   base,
+		Rate:      out.LoadedRPS,
+		Duration:  cfg.Duration,
+		Workload:  workload,
+		Reference: ref,
+	})
+	if err != nil {
+		return out, err
+	}
+
+	out.Mismatches = out.Unloaded.Mismatches + out.Loaded.Mismatches
+	return out, nil
+}
+
+// FormatServe renders the serving experiment's table.
+func FormatServe(r ServeResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving tier under open-loop load (%d tables × %d rows, %d slots)\n",
+		r.Tables, r.Rows, r.MaxConcurrent)
+	fmt.Fprintf(&b, "%-9s %9s %9s %9s %9s %9s %9s %9s %8s %8s\n",
+		"phase", "offered", "ok", "shed", "p50µs", "p95µs", "p99µs", "maxµs", "degr%", "cache%")
+	row := func(name string, rps float64, rep *load.Report) {
+		if rep == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%-9s %9.0f %9d %9d %9d %9d %9d %9d %7.1f%% %7.1f%%\n",
+			name, rps, rep.OK, rep.Shed,
+			rep.Latency.P50US, rep.Latency.P95US, rep.Latency.P99US, rep.Latency.MaxUS,
+			100*rep.DegradedRate, 100*rep.CacheHitRate)
+	}
+	row("unloaded", r.UnloadedRPS, r.Unloaded)
+	row("loaded", r.LoadedRPS, r.Loaded)
+	if r.Mismatches == 0 {
+		fmt.Fprintf(&b, "result identity: every completed response matched the unloaded reference\n")
+	} else {
+		fmt.Fprintf(&b, "RESULT MISMATCHES: %d\n", r.Mismatches)
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// holds observations in [2^(i-1), 2^i) microseconds (bucket 0 holds
+// sub-microsecond observations), so 40 buckets cover ~6 days.
+const histBuckets = 40
+
+// Histogram is a concurrency-safe log-bucketed latency histogram.
+// Observe is wait-free (one atomic add per bucket and per aggregate),
+// so request paths can record into a shared instance without a lock.
+// The zero value is ready to use.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+// Observe records one latency.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := bits.Len64(uint64(d.Microseconds()))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		old := h.maxNS.Load()
+		if int64(d) <= old || h.maxNS.CompareAndSwap(old, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile returns an estimate of the q-th latency quantile
+// (0 < q <= 1), linearly interpolated inside the holding bucket. It
+// returns 0 when nothing was observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			// Bucket i spans [lo, hi) microseconds. Interpolation can
+			// overshoot the true maximum in the top occupied bucket, so
+			// clamp to it.
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+			}
+			hi := int64(1) << i
+			frac := float64(rank-seen) / float64(n)
+			us := float64(lo) + frac*float64(hi-lo)
+			d := time.Duration(us * float64(time.Microsecond))
+			if max := time.Duration(h.maxNS.Load()); d > max {
+				d = max
+			}
+			return d
+		}
+		seen += n
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// Mean returns the mean observed latency.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNS.Load()) }
+
+// Latency is the JSON-stable summary of a Histogram.
+type Latency struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	MaxUS  int64   `json:"max_us"`
+}
+
+// Summary snapshots the histogram.
+func (h *Histogram) Summary() Latency {
+	return Latency{
+		Count:  h.count.Load(),
+		MeanUS: float64(h.Mean().Nanoseconds()) / 1e3,
+		P50US:  h.Quantile(0.50).Microseconds(),
+		P95US:  h.Quantile(0.95).Microseconds(),
+		P99US:  h.Quantile(0.99).Microseconds(),
+		MaxUS:  h.Max().Microseconds(),
+	}
+}

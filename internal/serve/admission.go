@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the daemon's semaphore-based admission controller. It
+// enforces the overload contract: the daemon never queues unboundedly.
+// A request either
+//
+//  1. takes a slot immediately (normal admission),
+//  2. takes a slot after a bounded wait, or while the tier is already
+//     running hot, and is marked degraded — the handler clamps its
+//     optimization budget so it rides the anytime ladder down to
+//     seed-floor plans instead of holding the slot for a full search,
+//  3. or finds no slot within queueTimeout and is shed (503 +
+//     Retry-After) — the queue is the semaphore's wait list, bounded
+//     in *time*, so latency of admitted work stays bounded by the
+//     request deadline instead of growing with the backlog.
+type admission struct {
+	slots        chan struct{}
+	capacity     int
+	degradeAt    int64 // inflight at or beyond this marks admits degraded
+	queueTimeout time.Duration
+
+	inflight       atomic.Int64
+	admitted       atomic.Int64
+	degradedAdmits atomic.Int64
+	shed           atomic.Int64
+}
+
+func newAdmission(capacity, degradeAt int, queueTimeout time.Duration) *admission {
+	return &admission{
+		slots:        make(chan struct{}, capacity),
+		capacity:     capacity,
+		degradeAt:    int64(degradeAt),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// admit tries to obtain a slot. ok reports admission; degraded reports
+// that the admit happened under pressure (the tier was contended or
+// running at degradeAt or more concurrent requests) and should run on
+// a clamped optimization budget. A false ok means the request was
+// shed — either no slot freed within queueTimeout or the caller's
+// context ended while queued.
+func (a *admission) admit(ctx context.Context) (degraded, ok bool) {
+	waited := false
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		waited = true
+		t := time.NewTimer(a.queueTimeout)
+		select {
+		case a.slots <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			a.shed.Add(1)
+			return false, false
+		case <-ctx.Done():
+			t.Stop()
+			a.shed.Add(1)
+			return false, false
+		}
+	}
+	n := a.inflight.Add(1)
+	a.admitted.Add(1)
+	degraded = waited || n >= a.degradeAt
+	if degraded {
+		a.degradedAdmits.Add(1)
+	}
+	return degraded, true
+}
+
+// release returns a slot.
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.slots
+}

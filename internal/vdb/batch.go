@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -14,6 +15,12 @@ import (
 // BatchResult is the outcome of one QueryBatch call.
 type BatchResult struct {
 	// Results holds one executed query per statement, in input order.
+	// Every Result reports Cached false: the plan cache is bypassed for
+	// batches, because sharing decisions are batch-relative — a Reuse
+	// plan rescans a spool only its own batch fills, so neither serving
+	// a batch plan from the cache nor inserting one is sound. Each
+	// Result's OptimizeTime is the whole batch's shared optimization
+	// time; ExecTime is that statement's own.
 	Results []*Result
 	// Stats are the shared optimization's counters, including
 	// SharedGroups and SharedWinners; per-query effort is not separable
@@ -41,6 +48,9 @@ func (db *DB) PrepareBatchCtx(ctx context.Context, sqls []string) ([]*core.Plan,
 		return nil, &BatchResult{}, nil
 	}
 	opts := db.opts.Search
+	if b, ok := budgetFrom(ctx); ok {
+		opts.Budget = b
+	}
 	opts.Search.ShareMemo = true
 	// Guided search seeds one root's cost limit; the multi-root batch
 	// engine has no per-root limits to seed, so the batch path always
@@ -102,23 +112,30 @@ func (db *DB) QueryBatch(sqls []string) (*BatchResult, error) {
 // queries do. The plan cache is bypassed: sharing decisions are
 // batch-relative and a Reuse plan is only valid within its batch.
 func (db *DB) QueryBatchCtx(ctx context.Context, sqls []string) (*BatchResult, error) {
+	optStart := time.Now()
 	plans, out, err := db.PrepareBatchCtx(ctx, sqls)
 	if err != nil {
 		return nil, err
 	}
+	optTime := time.Since(optStart)
 	execOpts := db.opts.Exec
 	execOpts.Spools = exec.NewSpoolStore()
 	for i, p := range plans {
+		execStart := time.Now()
 		rows, schema, err := exec.RunOpts(ctx, db.data, p, nil, execOpts)
 		if err != nil {
 			return nil, fmt.Errorf("vdb: batch statement %d: %w", i, err)
 		}
 		out.Results = append(out.Results, &Result{
-			Rows:     rows,
-			Columns:  columnNames(db.cat, schema),
-			Plan:     p,
-			Stats:    out.Stats,
-			Degraded: out.Stats.StopReason,
+			Rows:         rows,
+			Columns:      columnNames(db.cat, schema),
+			Plan:         p,
+			Cost:         p.Cost,
+			Stats:        out.Stats,
+			Degraded:     out.Stats.StopReason != nil,
+			StopReason:   out.Stats.StopReason,
+			OptimizeTime: optTime,
+			ExecTime:     time.Since(execStart),
 		})
 	}
 	return out, nil

@@ -59,9 +59,47 @@ func TestQueryBatchMatchesSingle(t *testing.T) {
 		t.Error("overlapping batch reports no shared groups")
 	}
 	for _, r := range batch.Results {
-		if r.Degraded != nil {
-			t.Errorf("unbudgeted batch degraded: %v", r.Degraded)
+		if r.Degraded {
+			t.Errorf("unbudgeted batch degraded: %v", r.StopReason)
 		}
+	}
+}
+
+// TestQueryBatchBypassesPlanCache: batch plans are batch-relative (a
+// Reuse node rescans a spool only its own batch fills), so QueryBatch
+// must neither consult nor populate the plan cache — and must say so
+// explicitly by reporting Cached false on every Result, even for a
+// statement whose solo plan is already cached.
+func TestQueryBatchBypassesPlanCache(t *testing.T) {
+	db := openDemoCached(t)
+	sql := "SELECT R1.id, R1.ja FROM R1, R2 WHERE R1.ja = R2.ja ORDER BY R1.id"
+	// Warm the cache with the statement, solo.
+	if _, err := db.Query(sql); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("solo repeat not served from the plan cache")
+	}
+	before := db.PlanCache().Counters()
+	batch, err := db.QueryBatch([]string{
+		sql,
+		"SELECT R1.ja, COUNT(*) FROM R1, R2 WHERE R1.ja = R2.ja GROUP BY R1.ja",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batch.Results {
+		if r.Cached {
+			t.Errorf("batch statement %d reports Cached despite the bypass", i)
+		}
+	}
+	after := db.PlanCache().Counters()
+	if after.CacheHits != before.CacheHits || after.CacheMisses != before.CacheMisses || after.Entries != before.Entries {
+		t.Errorf("batch touched the plan cache: before %+v, after %+v", before, after)
 	}
 }
 

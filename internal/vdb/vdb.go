@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -91,21 +92,100 @@ func (db *DB) Catalog() *rel.Catalog { return db.cat }
 // explicit invalidation); nil when Options.CacheBytes is 0.
 func (db *DB) PlanCache() *plancache.Cache { return db.cache }
 
-// Result is an executed query.
+// ExecCounters exposes the execution engine's cumulative counters for
+// observability.
+func (db *DB) ExecCounters() exec.Counters { return db.data.Counters() }
+
+// Result is the uniform outcome envelope of every entry point:
+// QueryCtx fills Rows, ExplainCtx fills PlanText, PrepareCtx fills the
+// plan-shaped fields (exposed via Stmt.Result), and QueryBatchCtx
+// returns one Result per statement. A network tier can serialize a
+// Result directly; nothing about how a statement was served (cache
+// hit, coalesced optimization, budget degradation, timing) requires a
+// second lookup.
 type Result struct {
-	// Rows are the output tuples.
+	// Rows are the output tuples; nil when the statement was not
+	// executed (Prepare, Explain).
 	Rows []exec.Row
 	// Columns names the output columns; aggregate outputs are "agg".
 	Columns []string
-	// Plan is the executed physical plan.
+	// Plan is the chosen physical plan (a choose-plan root for dynamic
+	// statements).
 	Plan *core.Plan
-	// Stats are the optimizer's search counters.
+	// PlanText is the rendered plan, with leading "-- degraded:" /
+	// "-- cached" notes; filled by ExplainCtx only.
+	PlanText string
+	// Cost is the plan's estimated cost (Plan.Cost, hoisted so
+	// envelope consumers need not walk the plan).
+	Cost core.Cost
+	// Stats are the search counters of the optimization that produced
+	// the plan — the original run's counters when the plan was served
+	// from the cache (Stats.CacheHit set) or coalesced
+	// (Stats.Coalesced set). Batch results share the batch's counters.
 	Stats core.Stats
-	// Degraded, when non-nil, is the typed budget error (matching
-	// core.ErrBudget) that stopped the optimizer before it could prove
-	// the plan optimal: the query ran on the best complete plan found
-	// within the budget. Nil for fully optimized queries.
-	Degraded error
+	// Degraded reports that a budget stopped the optimizer before it
+	// could prove the plan optimal: the statement still ran, on the
+	// best complete plan found. StopReason names the exhausted bound.
+	Degraded bool
+	// StopReason is the typed budget error (matching core.ErrBudget)
+	// behind Degraded; nil for fully optimized statements.
+	StopReason error
+	// Cached reports that the plan was served from the plan cache.
+	// Always false for batch results: sharing decisions are
+	// batch-relative, so QueryBatchCtx bypasses the cache entirely.
+	Cached bool
+	// Coalesced reports that the plan was shared from an identical
+	// in-flight optimization instead of running a duplicate search.
+	Coalesced bool
+	// Dynamic reports a choose-plan over selectivity regions
+	// (parameterized statements).
+	Dynamic bool
+	// NParams is the statement's parameter count.
+	NParams int
+	// OptimizeTime is the wall time this call spent obtaining the plan
+	// (near zero for cache hits); ExecTime is the wall time executing
+	// it. Both are zero for phases the entry point did not run.
+	OptimizeTime time.Duration
+	// ExecTime is the wall time spent executing the plan.
+	ExecTime time.Duration
+}
+
+// resultFrom assembles the envelope for a plan served by serve().
+func resultFrom(entry *plancache.Entry, outcome plancache.Outcome, optTime time.Duration) *Result {
+	return &Result{
+		Plan:         entry.Plan,
+		Cost:         entry.Plan.Cost,
+		Stats:        serveStats(entry, outcome),
+		Degraded:     entry.Degraded != nil,
+		StopReason:   entry.Degraded,
+		Cached:       outcome == plancache.OutcomeHit,
+		Coalesced:    outcome == plancache.OutcomeCoalesced,
+		Dynamic:      entry.Dynamic,
+		NParams:      entry.NParams,
+		OptimizeTime: optTime,
+	}
+}
+
+// budgetKey carries a per-request optimization budget in a context.
+type budgetKey struct{}
+
+// WithBudget returns a context carrying a per-request optimization
+// budget that overrides Options.Search.Budget for every statement
+// optimized under it. This is how a serving tier maps request
+// deadlines and overload-degradation ladders onto the optimizer
+// without holding one DB per budget level: cache hits are unaffected
+// (the stored plan is already proven optimal), budget-degraded plans
+// are never inserted into the cache, and a coalesced caller shares the
+// in-flight optimization's budget, not its own. Dynamic-plan
+// optimization of parameterized statements is not budgeted.
+func WithBudget(ctx context.Context, b core.Budget) context.Context {
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// budgetFrom extracts a WithBudget override, if any.
+func budgetFrom(ctx context.Context) (core.Budget, bool) {
+	b, ok := ctx.Value(budgetKey{}).(core.Budget)
+	return b, ok
 }
 
 // optimize runs the search engine over a parsed statement under the
@@ -115,6 +195,9 @@ type Result struct {
 // error) fails. The returned stats include StopReason for degraded runs.
 func (db *DB) optimize(ctx context.Context, tree *core.ExprTree, required core.PhysProps) (*core.Plan, core.Stats, error, error) {
 	opts := db.opts.Search
+	if b, ok := budgetFrom(ctx); ok {
+		opts.Budget = b
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, core.Stats{}, nil, err
 	}
@@ -177,16 +260,12 @@ func serveStats(e *plancache.Entry, outcome plancache.Outcome) core.Stats {
 
 // Stmt is a prepared statement: parsed, optimized (statically or
 // dynamically), and executable many times with different parameters.
+// Its prepare-time envelope — plan, cost, cache/degradation markers,
+// optimization timing — is the same Result every other entry point
+// returns (see Result).
 type Stmt struct {
-	db      *DB
-	plan    *core.Plan
-	dynamic bool
-	nparams int
-	// degraded records the budget error of a degraded optimization; the
-	// statement still executes the best plan found.
-	degraded error
-	// cached records that the plan was served from the plan cache.
-	cached bool
+	db  *DB
+	res *Result
 }
 
 // Prepare parses and optimizes a statement; see PrepareCtx.
@@ -209,29 +288,29 @@ func (db *DB) PrepareCtx(ctx context.Context, sql string) (*Stmt, error) {
 	if nparams > 1 {
 		return nil, fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
 	}
+	start := time.Now()
 	entry, outcome, err := db.serve(ctx, st, nparams)
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{
-		db:       db,
-		plan:     entry.Plan,
-		dynamic:  entry.Dynamic,
-		nparams:  entry.NParams,
-		degraded: entry.Degraded,
-		cached:   outcome == plancache.OutcomeHit,
-	}, nil
+	return &Stmt{db: db, res: resultFrom(entry, outcome, time.Since(start))}, nil
 }
+
+// Result exposes the prepare-time envelope: plan, cost,
+// cache/degradation markers, and optimization timing, with no rows.
+func (s *Stmt) Result() *Result { return s.res }
 
 // Degraded reports the budget error that stopped the statement's
 // optimization, or nil when the plan is proven optimal. Degraded plans
 // are never inserted into the plan cache, so Cached and Degraded are
 // mutually exclusive.
-func (s *Stmt) Degraded() error { return s.degraded }
+//
+// Deprecated: use Result().StopReason (and Result().Degraded).
+func (s *Stmt) Degraded() error { return s.res.StopReason }
 
 // Cached reports whether the statement's plan was served from the plan
 // cache rather than optimized by this Prepare call.
-func (s *Stmt) Cached() bool { return s.cached }
+func (s *Stmt) Cached() bool { return s.res.Cached }
 
 // Exec runs the prepared statement with the given parameter values; see
 // ExecCtx.
@@ -241,24 +320,31 @@ func (s *Stmt) Exec(params ...int64) (*Result, error) {
 
 // ExecCtx runs the prepared statement with the given parameter values
 // under a context: canceling it tears down the executing iterator tree
-// (including any exchange workers) and fails the call.
+// (including any exchange workers) and fails the call. The returned
+// Result carries the statement's prepare-time envelope (plan, cost,
+// cache/degradation markers) plus this execution's rows and timing.
 func (s *Stmt) ExecCtx(ctx context.Context, params ...int64) (*Result, error) {
-	if len(params) != s.nparams {
-		return nil, fmt.Errorf("vdb: statement needs %d parameters, got %d", s.nparams, len(params))
+	if len(params) != s.res.NParams {
+		return nil, fmt.Errorf("vdb: statement needs %d parameters, got %d", s.res.NParams, len(params))
 	}
-	rows, schema, err := exec.RunOpts(ctx, s.db.data, s.plan, params, s.db.opts.Exec)
+	start := time.Now()
+	rows, schema, err := exec.RunOpts(ctx, s.db.data, s.res.Plan, params, s.db.opts.Exec)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Rows: rows, Columns: columnNames(s.db.cat, schema), Plan: s.plan}, nil
+	res := *s.res
+	res.Rows = rows
+	res.Columns = columnNames(s.db.cat, schema)
+	res.ExecTime = time.Since(start)
+	return &res, nil
 }
 
 // Plan exposes the prepared plan (a ChoosePlan root for dynamic
 // statements).
-func (s *Stmt) Plan() *core.Plan { return s.plan }
+func (s *Stmt) Plan() *core.Plan { return s.res.Plan }
 
 // Dynamic reports whether the statement carries runtime alternatives.
-func (s *Stmt) Dynamic() bool { return s.dynamic }
+func (s *Stmt) Dynamic() bool { return s.res.Dynamic }
 
 // Query parses, optimizes, and executes a fully specified statement;
 // see QueryCtx.
@@ -281,65 +367,82 @@ func (db *DB) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	if countParams(st.Tree) != 0 {
 		return nil, fmt.Errorf("vdb: parameterized query requires Prepare/Exec or QueryParams")
 	}
+	start := time.Now()
 	entry, outcome, err := db.serve(ctx, st, 0)
 	if err != nil {
 		return nil, err
 	}
+	res := resultFrom(entry, outcome, time.Since(start))
+	start = time.Now()
 	rows, schema, err := exec.RunOpts(ctx, db.data, entry.Plan, nil, db.opts.Exec)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Rows:     rows,
-		Columns:  columnNames(db.cat, schema),
-		Plan:     entry.Plan,
-		Stats:    serveStats(entry, outcome),
-		Degraded: entry.Degraded,
-	}, nil
+	res.Rows = rows
+	res.Columns = columnNames(db.cat, schema)
+	res.ExecTime = time.Since(start)
+	return res, nil
 }
 
 // QueryParams prepares and executes a parameterized statement in one
-// step.
+// step; see QueryParamsCtx.
 func (db *DB) QueryParams(sql string, params ...int64) (*Result, error) {
-	stmt, err := db.Prepare(sql)
+	return db.QueryParamsCtx(context.Background(), sql, params...)
+}
+
+// QueryParamsCtx prepares and executes a parameterized statement in
+// one step under a context; the Result envelope covers both phases.
+func (db *DB) QueryParamsCtx(ctx context.Context, sql string, params ...int64) (*Result, error) {
+	stmt, err := db.PrepareCtx(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Exec(params...)
+	return stmt.ExecCtx(ctx, params...)
 }
 
 // Explain parses and optimizes without executing, returning the plan
-// rendering; see ExplainCtx.
+// rendering.
+//
+// Deprecated: use ExplainCtx, whose Result carries the rendering in
+// PlanText alongside the full envelope.
 func (db *DB) Explain(sql string) (string, error) {
-	return db.ExplainCtx(context.Background(), sql)
-}
-
-// ExplainCtx parses and optimizes without executing, returning the plan
-// rendering. A budget-stopped optimization renders the degraded plan
-// with a leading note naming the exhausted bound; a cache-served plan
-// carries a "-- cached" note. Parameterized statements explain the same
-// dynamic plan Prepare would build.
-func (db *DB) ExplainCtx(ctx context.Context, sql string) (string, error) {
-	st, err := sqlish.Parse(db.cat, sql)
+	res, err := db.ExplainCtx(context.Background(), sql)
 	if err != nil {
 		return "", err
+	}
+	return res.PlanText, nil
+}
+
+// ExplainCtx parses and optimizes without executing. The Result's
+// PlanText holds the plan rendering: a budget-stopped optimization
+// renders the degraded plan with a leading note naming the exhausted
+// bound, and a cache-served plan carries a "-- cached" note.
+// Parameterized statements explain the same dynamic plan Prepare would
+// build.
+func (db *DB) ExplainCtx(ctx context.Context, sql string) (*Result, error) {
+	st, err := sqlish.Parse(db.cat, sql)
+	if err != nil {
+		return nil, err
 	}
 	nparams := countParams(st.Tree)
 	if nparams > 1 {
-		return "", fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
+		return nil, fmt.Errorf("vdb: at most one parameter is supported, query has %d", nparams)
 	}
+	start := time.Now()
 	entry, outcome, err := db.serve(ctx, st, nparams)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	text := entry.Plan.Format()
-	if entry.Degraded != nil {
-		return fmt.Sprintf("-- degraded: %v\n%s", entry.Degraded, text), nil
+	res := resultFrom(entry, outcome, time.Since(start))
+	switch {
+	case res.Degraded:
+		res.PlanText = fmt.Sprintf("-- degraded: %v\n%s", res.StopReason, res.Plan.Format())
+	case res.Cached:
+		res.PlanText = "-- cached\n" + res.Plan.Format()
+	default:
+		res.PlanText = res.Plan.Format()
 	}
-	if outcome == plancache.OutcomeHit {
-		return "-- cached\n" + text, nil
-	}
-	return text, nil
+	return res, nil
 }
 
 // countParams counts distinct parameter indexes in selection predicates.

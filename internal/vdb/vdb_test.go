@@ -1,6 +1,7 @@
 package vdb_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,6 +15,13 @@ func openDemo(t *testing.T) *vdb.DB {
 	src := datagen.New(31)
 	cat := src.Catalog(3)
 	return vdb.Open(cat, src.Rows(cat), nil)
+}
+
+func openDemoCached(t *testing.T) *vdb.DB {
+	t.Helper()
+	src := datagen.New(31)
+	cat := src.Catalog(3)
+	return vdb.Open(cat, src.Rows(cat), &vdb.Options{CacheBytes: 1 << 20})
 }
 
 func TestQueryEndToEnd(t *testing.T) {
@@ -100,6 +108,86 @@ func TestExplain(t *testing.T) {
 	}
 	if !strings.Contains(plan, "join") || !strings.Contains(plan, "cost=") {
 		t.Fatalf("explain output:\n%s", plan)
+	}
+}
+
+// TestResultEnvelope: every entry point returns the same Result shape,
+// with cost, timing, and serving markers filled consistently.
+func TestResultEnvelope(t *testing.T) {
+	db := openDemoCached(t)
+	sql := "SELECT R1.id, R1.ja FROM R1, R2 WHERE R1.ja = R2.ja ORDER BY R1.ja"
+
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == nil || res.Plan == nil {
+		t.Fatal("Query result missing plan or cost")
+	}
+	if res.Degraded || res.StopReason != nil || res.Cached {
+		t.Fatalf("fresh unbudgeted query misreported: %+v", res)
+	}
+	if res.OptimizeTime <= 0 || res.ExecTime <= 0 {
+		t.Fatalf("timings not recorded: optimize %v, exec %v", res.OptimizeTime, res.ExecTime)
+	}
+
+	exp, err := db.ExplainCtx(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Cached {
+		t.Fatal("explain after query not served from the plan cache")
+	}
+	if !strings.HasPrefix(exp.PlanText, "-- cached\n") {
+		t.Fatalf("cached explain rendering:\n%s", exp.PlanText)
+	}
+	if len(exp.Rows) != 0 || exp.ExecTime != 0 {
+		t.Fatal("explain executed the plan")
+	}
+
+	stmt, err := db.PrepareCtx(context.Background(), sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := stmt.Result()
+	if !pr.Cached || pr.Plan == nil || pr.Cost == nil {
+		t.Fatalf("prepare envelope: %+v", pr)
+	}
+	run, err := stmt.Exec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Cached || len(run.Rows) == 0 || run.ExecTime <= 0 {
+		t.Fatalf("exec envelope: cached=%v rows=%d exec=%v", run.Cached, len(run.Rows), run.ExecTime)
+	}
+}
+
+// TestWithBudgetOverride: a context-carried budget degrades one
+// request without touching the database's configured options, and the
+// degraded plan still answers the query.
+func TestWithBudgetOverride(t *testing.T) {
+	db := openDemo(t)
+	sql := "SELECT R1.id FROM R1, R2, R3 WHERE R1.ja = R2.ja AND R2.jb = R3.jb ORDER BY R1.id"
+	ctx := vdb.WithBudget(context.Background(), core.Budget{MaxSteps: 1})
+	res, err := db.QueryCtx(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.StopReason == nil {
+		t.Fatalf("MaxSteps:1 search not reported degraded: %+v", res.Stats.StopReason)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("degraded query returned no rows")
+	}
+	full, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded {
+		t.Fatal("budget override leaked into an unbudgeted query")
+	}
+	if len(full.Rows) != len(res.Rows) {
+		t.Fatalf("degraded plan changed the result: %d vs %d rows", len(res.Rows), len(full.Rows))
 	}
 }
 
