@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-mqo bench-serve profile fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-col bench-mqo bench-serve profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -61,13 +61,21 @@ bench-spar:
 	$(GO) run ./cmd/volcano-bench -experiment fig4spar -json ""
 
 # End-to-end optimize-and-execute A/B over ~10⁶-row generated tables:
-# the row-at-a-time engine vs batched vs batched behind a parallel
-# exchange at degrees 2/4/8. Every engine's result multiset is gated
-# against the row baseline; volcano-bench exits non-zero on a mismatch.
-# Override ROWS for other scales (e.g. ROWS=10000000).
+# the row-at-a-time engine vs batched vs columnar vs batched behind a
+# parallel exchange at degrees 2/4/8. Every engine's result multiset is
+# gated against the row baseline; volcano-bench exits non-zero on a
+# mismatch. Override ROWS for other scales (e.g. ROWS=10000000).
 ROWS ?= 1000000
 bench-e2e:
 	$(GO) run ./cmd/volcano-bench -experiment e2e -rows $(ROWS) -json ""
+
+# Columnar e2e smoke: the same row vs batch vs columnar A/B at 10⁵
+# rows — quick enough for CI, still large enough that the vectorized
+# kernels dominate the wall time. Exits non-zero on any
+# result-fingerprint mismatch across the engines and exchange degrees.
+COL_ROWS ?= 100000
+bench-col:
+	$(GO) run ./cmd/volcano-bench -experiment e2e -rows $(COL_ROWS) -json ""
 
 # Multi-query optimization over one shared memo: an overlapping batch
 # optimized independently, shared-nothing (every plan cost must be

@@ -56,12 +56,13 @@ func main() {
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
 	batchSize := flag.Int("batch-size", 0, "executor rows per batch (0 = default, 1 = row-at-a-time)")
 	execWorkers := flag.Int("exec-workers", 0, "exchange producer goroutines (0 = one per partition)")
+	columnar := flag.Bool("columnar", false, "execute with vectorized columnar kernels where the plan allows")
 	flag.Parse()
 
 	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
 	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget,
 		cacheBytes: *cacheSize, workers: *searchWorkers, dataDir: *dataDir,
-		batchSize: *batchSize, execWorkers: *execWorkers}
+		batchSize: *batchSize, execWorkers: *execWorkers, columnar: *columnar}
 	if *dataDir != "" {
 		if err := r.openDir(); err != nil {
 			fmt.Fprintln(os.Stderr, "volcano-repl:", err)
@@ -99,6 +100,7 @@ type repl struct {
 
 	batchSize   int
 	execWorkers int
+	columnar    bool
 
 	// last holds the most recent optimization's counters, for \stats.
 	last *core.Stats
@@ -111,6 +113,7 @@ func (r *repl) options() *vdb.Options {
 	opts.Search.Search.Workers = r.workers
 	opts.Exec.BatchSize = r.batchSize
 	opts.Exec.ExchangeWorkers = r.execWorkers
+	opts.Exec.Columnar = r.columnar
 	if r.trace {
 		opts.Search.Trace.Tracer = core.ClassicTracer(func(line string) {
 			fmt.Printf("  trace: %s\n", line)

@@ -82,6 +82,68 @@ func TestRowsMatchCatalog(t *testing.T) {
 	}
 }
 
+// TestScaledCatalogDeterministic: the e2e experiment's reproducibility
+// rests on one seed pinning the whole dataset — two sources built from
+// the same seed must produce identical scaled catalogs and identical
+// table contents, and a different seed must actually change the data
+// (so volcano-bench -seed is not a no-op).
+func TestScaledCatalogDeterministic(t *testing.T) {
+	const rows = 2000
+	gen := func(seed int64) (map[string]int64, map[string][][]int64) {
+		s := New(seed)
+		cat := s.ScaledCatalog(3, rows)
+		sizes := map[string]int64{}
+		for _, name := range cat.Tables() {
+			sizes[name] = cat.Table(name).Rows
+		}
+		return sizes, s.Rows(cat)
+	}
+
+	sizesA, dataA := gen(1993)
+	sizesB, dataB := gen(1993)
+	if len(sizesA) != len(sizesB) {
+		t.Fatalf("same seed, different table counts: %d vs %d", len(sizesA), len(sizesB))
+	}
+	for name, n := range sizesA {
+		if sizesB[name] != n {
+			t.Errorf("same seed, %s sized %d vs %d", name, n, sizesB[name])
+		}
+		a, b := dataA[name], dataB[name]
+		if len(a) != len(b) {
+			t.Fatalf("same seed, %s has %d vs %d rows", name, len(a), len(b))
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("same seed, %s row %d col %d: %d vs %d", name, i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+	}
+
+	_, dataC := gen(7)
+	same := true
+outer:
+	for name, a := range dataA {
+		c := dataC[name]
+		if len(a) != len(c) {
+			same = false
+			break
+		}
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != c[i][j] {
+					same = false
+					break outer
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
 // TestOptimizeScaling exercises the Volcano optimizer across the paper's
 // query sizes and reports effort, guarding against search-space
 // explosions.

@@ -49,16 +49,53 @@ func (b *Batch) add(r Row) { b.Rows = append(b.Rows, r) }
 // row. Arena memory is never rewound, so rows stay valid after reset.
 func (b *Batch) alloc(width, chunk int) Row {
 	if cap(b.arena)-len(b.arena) < width {
-		if chunk < width {
-			chunk = width
-		}
-		b.arena = make([]int64, 0, chunk)
+		b.arena = make([]int64, 0, arenaChunk(width, chunk))
 	}
 	off := len(b.arena)
 	b.arena = b.arena[:off+width]
 	r := Row(b.arena[off : off+width : off+width])
 	b.Rows = append(b.Rows, r)
 	return r
+}
+
+// arenaChunk sizes an arena refill: at least width, rounded up to a
+// whole-row multiple. Without the rounding, a chunk that is not a
+// multiple of the row width strands up to width-1 slots at the end of
+// every arena (the refill check sees less than a full row left), costing
+// extra refill allocations for the same row count.
+func arenaChunk(width, chunk int) int {
+	if chunk < width {
+		chunk = width
+	}
+	if rem := chunk % width; rem != 0 {
+		chunk += width - rem
+	}
+	return chunk
+}
+
+// allocRows carves n fresh rows of the given width from the arena as one
+// contiguous row-major block, appending their headers to the batch, and
+// returns the block for the caller to fill. It is the bulk counterpart
+// of alloc: a columnar operator materializing a whole batch pays one
+// capacity check and one header append loop instead of n alloc calls.
+func (b *Batch) allocRows(n, width, chunk int) []int64 {
+	need := n * width
+	if need == 0 {
+		return nil
+	}
+	if cap(b.arena)-len(b.arena) < need {
+		if chunk < need {
+			chunk = need
+		}
+		b.arena = make([]int64, 0, arenaChunk(width, chunk))
+	}
+	off := len(b.arena)
+	b.arena = b.arena[:off+need]
+	block := b.arena[off : off+need : off+need]
+	for r := 0; r < need; r += width {
+		b.Rows = append(b.Rows, Row(block[r:r+width:r+width]))
+	}
+	return block
 }
 
 // BatchIterator is the batched Volcano iterator interface: open once,

@@ -21,8 +21,19 @@ type Options struct {
 	// project, sort chains); other inputs fall back to one producer.
 	ExchangeWorkers int
 	// NoFusion disables scan-filter fusion, keeping every operator
-	// boundary a data transfer (the row-engine A/B baseline).
+	// boundary a data transfer (the row-engine A/B baseline). It only
+	// affects the row engine; columnar filters are fusion-equivalent by
+	// construction (survivors are marked in a selection vector, never
+	// copied).
 	NoFusion bool
+	// Columnar selects the columnar engine: scans, filters, projections,
+	// hash joins, and aggregations over column-capable inputs run on
+	// ColBatch vectors with selection-vector filtering and per-column
+	// kernels (DESIGN.md §4i). Operators with inherently row-structured
+	// logic (sorts, merges, sets, exchange routing, spools) and the
+	// storage/Collect edges keep the row batch protocol; adapters bridge
+	// the boundaries. Results are identical to the row engine.
+	Columnar bool
 	// Spools is the shared store the Materialize/Reuse operators of one
 	// multi-query batch communicate through; every plan of the batch
 	// must be built and run against the same store, in batch order. Nil
@@ -241,10 +252,37 @@ func (b *builder) build(plan *core.Plan, part int) (Iterator, *Schema, error) {
 	if f, ok := it.(*Filter); ok && b.opts.NoFusion {
 		f.SetFusion(false)
 	}
-	if scan, ok := it.(*TableScan); ok && b.ctx != nil {
-		scan.SetContext(b.ctx)
+	if b.ctx != nil {
+		switch scan := it.(type) {
+		case *TableScan:
+			scan.SetContext(b.ctx)
+		case *ColScan:
+			scan.SetContext(b.ctx)
+		}
 	}
 	return it, s, nil
+}
+
+// colCapable reports whether a plan node, built under Options.Columnar,
+// exposes the columnar batch protocol without a per-batch transpose:
+// scans over tables with a column-major projection, filter/project
+// chains above them, and hash joins with at least one such side (whose
+// output vectors are produced by gathers either way). It doubles as the
+// construction rule: the builder creates the columnar variant of a node
+// exactly when its relevant inputs are column-capable, so transposing
+// adapters only ever appear where a row-structured operator (sort,
+// merge, set, exchange, spool) genuinely sits below a columnar one.
+func (b *builder) colCapable(plan *core.Plan) bool {
+	switch op := plan.Op.(type) {
+	case *relopt.FileScan:
+		t := b.db.Table(op.Tab.Name)
+		return t != nil && t.cols != nil
+	case *relopt.Filter, *relopt.ProjectOp:
+		return b.colCapable(plan.Inputs[0])
+	case *relopt.HashJoin:
+		return b.colCapable(plan.Inputs[0]) || b.colCapable(plan.Inputs[1])
+	}
+	return false
 }
 
 // buildNode constructs the iterator for one plan node. part is the
@@ -257,6 +295,14 @@ func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error
 		if t == nil {
 			return nil, nil, fmt.Errorf("exec: table %q not loaded", op.Tab.Name)
 		}
+		if b.opts.Columnar {
+			if scan := NewColScan(t); scan != nil {
+				if b.stripes > 1 {
+					scan.SetStripe(b.stripe, b.stripes)
+				}
+				return scan, t.Schema, nil
+			}
+		}
 		scan := NewTableScan(t)
 		if b.stripes > 1 {
 			scan.SetStripe(b.stripe, b.stripes)
@@ -264,6 +310,7 @@ func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error
 		return scan, t.Schema, nil
 
 	case *relopt.Filter:
+		columnar := b.opts.Columnar && b.colCapable(plan.Inputs[0])
 		in, ins, err := b.build(plan.Inputs[0], part)
 		if err != nil {
 			return nil, nil, err
@@ -272,12 +319,19 @@ func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error
 		if err != nil {
 			return nil, nil, err
 		}
+		if columnar {
+			return NewColFilter(in, ins, preds), ins, nil
+		}
 		return NewFilter(in, ins, preds), ins, nil
 
 	case *relopt.ProjectOp:
+		columnar := b.opts.Columnar && b.colCapable(plan.Inputs[0])
 		in, ins, err := b.build(plan.Inputs[0], part)
 		if err != nil {
 			return nil, nil, err
+		}
+		if columnar {
+			return NewColProject(in, ins, op.Cols), schema, nil
 		}
 		return NewProject(in, ins, op.Cols), schema, nil
 
@@ -362,16 +416,26 @@ func (b *builder) buildNode(plan *core.Plan, part int) (Iterator, *Schema, error
 		return x, ls, nil
 
 	case *relopt.SortGroupBy:
+		columnar := b.opts.Columnar && b.colCapable(plan.Inputs[0])
 		in, ins, err := b.build(plan.Inputs[0], part)
 		if err != nil {
 			return nil, nil, err
 		}
+		if columnar {
+			return NewColSortGroupBy(in, ins, op.GroupCols, op.Aggs), schema, nil
+		}
 		return NewSortGroupBy(in, ins, op.GroupCols, op.Aggs), schema, nil
 
 	case *relopt.HashGroupBy:
+		columnar := b.opts.Columnar && b.colCapable(plan.Inputs[0])
 		in, ins, err := b.build(plan.Inputs[0], part)
 		if err != nil {
 			return nil, nil, err
+		}
+		if columnar {
+			g := NewColHashGroupBy(in, ins, op.GroupCols, op.Aggs)
+			g.SizeHint = rowsHint(plan)
+			return g, schema, nil
 		}
 		g := NewHashGroupBy(in, ins, op.GroupCols, op.Aggs)
 		g.SizeHint = rowsHint(plan)
@@ -476,6 +540,12 @@ func (b *builder) buildJoin(plan *core.Plan, part int, lcol, rcol rel.ColID, pro
 	lp, rp := ls.Pos(lcol), rs.Pos(rcol)
 	if merge {
 		return NewMergeJoin(l, r, ls, rs, lp, rp, proj), out, nil
+	}
+	if b.opts.Columnar && (b.colCapable(plan.Inputs[0]) || b.colCapable(plan.Inputs[1])) {
+		cj := NewColHashJoin(l, r, ls, rs, lp, rp, proj)
+		cj.BuildHint = rowsHint(plan.Inputs[0])
+		cj.KeyHint = distinctHint(plan.Inputs[0], lcol)
+		return cj, out, nil
 	}
 	hj := NewHashJoin(l, r, ls, rs, lp, rp, proj)
 	hj.BuildHint = rowsHint(plan.Inputs[0])

@@ -1,0 +1,386 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// randTable builds a compacted table (row and columnar storage) with the
+// given column IDs, rows drawn from a small signed domain so predicates
+// hit every comparison outcome.
+func randTable(rng *rand.Rand, cols []rel.ColID, n int) *Table {
+	t := &Table{Name: "t", Schema: NewSchema(cols), Rows: make([]Row, n)}
+	for i := range t.Rows {
+		r := make(Row, len(cols))
+		for j := range r {
+			r[j] = int64(rng.Intn(21) - 10)
+		}
+		t.Rows[i] = r
+	}
+	t.compact()
+	return t
+}
+
+var cmpOps = []rel.CmpOp{rel.CmpEQ, rel.CmpNE, rel.CmpLT, rel.CmpLE, rel.CmpGT, rel.CmpGE}
+
+// randPreds draws 1–3 random conjuncts over the table's columns,
+// including column-column comparisons.
+func randPreds(rng *rand.Rand, cols []rel.ColID) []rel.Pred {
+	preds := make([]rel.Pred, 1+rng.Intn(3))
+	for i := range preds {
+		p := rel.Pred{Col: cols[rng.Intn(len(cols))], Op: cmpOps[rng.Intn(len(cmpOps))]}
+		if len(cols) > 1 && rng.Intn(3) == 0 {
+			p.OtherCol = cols[rng.Intn(len(cols))]
+			for p.OtherCol == p.Col {
+				p.OtherCol = cols[rng.Intn(len(cols))]
+			}
+		} else {
+			p.Val = int64(rng.Intn(21) - 10)
+		}
+		preds[i] = p
+	}
+	return preds
+}
+
+// colScanOf returns a columnar scan over the table, falling back to a
+// row scan for tables without a columnar projection (empty tables).
+func colScanOf(tab *Table) Iterator {
+	if cs := NewColScan(tab); cs != nil {
+		return cs
+	}
+	return NewTableScan(tab)
+}
+
+func collectAll(t *testing.T, it Iterator) []Row {
+	t.Helper()
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return rows
+}
+
+// TestColFilterMatchesRowFilterRandom is the fuzz-style cross-check of
+// the columnar fused scan-filter against the row filter: random tables,
+// random conjuncts (all six comparison operators, constant and
+// column-column), random batch sizes. Filters preserve input order, so
+// the comparison is exact row-for-row, not just multiset. Runs under
+// -race via the standard test suite.
+func TestColFilterMatchesRowFilterRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		ncols := 1 + rng.Intn(4)
+		cols := make([]rel.ColID, ncols)
+		for i := range cols {
+			cols[i] = rel.ColID(i + 1)
+		}
+		tab := randTable(rng, cols, rng.Intn(3000))
+		preds := randPreds(rng, cols)
+		size := []int{1, 7, 64, DefaultBatchSize}[rng.Intn(4)]
+
+		rf := NewFilter(NewTableScan(tab), tab.Schema, preds)
+		rf.SetBatchSize(size)
+		want := collectAll(t, rf)
+
+		var scan Iterator = NewTableScan(tab)
+		if cs := NewColScan(tab); cs != nil {
+			cs.SetBatchSize(size)
+			scan = cs
+		}
+		cf := NewColFilter(scan, tab.Schema, preds)
+		cf.SetBatchSize(size)
+		got := collectAll(t, cf)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (size %d, preds %v): %d rows, want %d", trial, size, preds, len(got), len(want))
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: row %d differs: got %v want %v (preds %v)", trial, i, got[i], want[i], preds)
+				}
+			}
+		}
+	}
+}
+
+// TestColFilterOverRowInput checks the transposing adapter path: a
+// columnar filter over a row-producing input (no columnar projection)
+// must agree with the row filter.
+func TestColFilterOverRowInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	cols := []rel.ColID{1, 2}
+	tab := randTable(rng, cols, 500)
+	preds := []rel.Pred{{Col: 1, Op: rel.CmpGE, Val: 0}, {Col: 2, Op: rel.CmpLT, OtherCol: 1}}
+
+	want := collectAll(t, NewFilter(NewTableScan(tab), tab.Schema, preds))
+	got := collectAll(t, NewColFilter(NewTableScan(tab), tab.Schema, preds))
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestColHashJoinMatchesHashJoin cross-checks the columnar hash join
+// against the row hash join on random tables, with and without a fused
+// projection, at awkward batch sizes.
+func TestColHashJoinMatchesHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 30; trial++ {
+		lcols := []rel.ColID{1, 2}
+		rcols := []rel.ColID{3, 4, 5}
+		lt := randTable(rng, lcols, rng.Intn(400))
+		rt := randTable(rng, rcols, rng.Intn(400))
+		size := []int{1, 7, 64}[rng.Intn(3)]
+		var proj []int
+		if rng.Intn(2) == 0 {
+			proj = []int{0, 3, 4}
+		}
+
+		rj := NewHashJoin(NewTableScan(lt), NewTableScan(rt), lt.Schema, rt.Schema, 0, 1, proj)
+		rj.SetBatchSize(size)
+		want := collectAll(t, rj)
+
+		cj := NewColHashJoin(colScanOf(lt), colScanOf(rt), lt.Schema, rt.Schema, 0, 1, proj)
+		cj.SetBatchSize(size)
+		got := collectAll(t, cj)
+
+		if Fingerprint(got) != Fingerprint(want) {
+			t.Fatalf("trial %d (size %d, proj %v): columnar join multiset differs (%d vs %d rows)",
+				trial, size, proj, len(got), len(want))
+		}
+	}
+}
+
+// TestColGroupByMatchesRowGroupBy cross-checks columnar hash and sorted
+// grouping against their row counterparts: single and multi grouping
+// columns, every aggregate function.
+func TestColGroupByMatchesRowGroupBy(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	aggs := []rel.Agg{
+		{Fn: rel.AggCount},
+		{Fn: rel.AggSum, Col: 2},
+		{Fn: rel.AggMin, Col: 2},
+		{Fn: rel.AggMax, Col: 1},
+	}
+	for trial := 0; trial < 20; trial++ {
+		cols := []rel.ColID{1, 2, 3}
+		tab := randTable(rng, cols, rng.Intn(2000))
+		groupCols := [][]rel.ColID{{1}, {1, 3}}[rng.Intn(2)]
+		size := []int{1, 7, DefaultBatchSize}[rng.Intn(3)]
+
+		rg := NewHashGroupBy(NewTableScan(tab), tab.Schema, groupCols, aggs)
+		rg.SetBatchSize(size)
+		want := collectAll(t, rg)
+
+		cg := NewColHashGroupBy(colScanOf(tab), tab.Schema, groupCols, aggs)
+		cg.SetBatchSize(size)
+		got := collectAll(t, cg)
+		if Fingerprint(got) != Fingerprint(want) {
+			t.Fatalf("trial %d: columnar hash group-by differs (%d vs %d groups)", trial, len(got), len(want))
+		}
+
+		// Sorted grouping needs sorted input: run both over a sort.
+		sortOrder := make([]relopt.OrderCol, len(groupCols))
+		for i, c := range groupCols {
+			sortOrder[i] = relopt.OrderCol{Col: c}
+		}
+		sg := NewSortGroupBy(NewSort(NewTableScan(tab), tab.Schema, sortOrder), tab.Schema, groupCols, aggs)
+		sg.SetBatchSize(size)
+		want = collectAll(t, sg)
+		csg := NewColSortGroupBy(NewSort(colScanOf(tab), tab.Schema, sortOrder), tab.Schema, groupCols, aggs)
+		csg.SetBatchSize(size)
+		got = collectAll(t, csg)
+		if Fingerprint(got) != Fingerprint(want) {
+			t.Fatalf("trial %d: columnar sort group-by differs (%d vs %d groups)", trial, len(got), len(want))
+		}
+	}
+}
+
+// TestColSortGroupByOverColFilter exercises the selection-vector path of
+// the streaming aggregate: a columnar filter feeds the sorted grouping
+// directly, so runs are detected through the selection vector.
+func TestColSortGroupByOverColFilter(t *testing.T) {
+	tab := &Table{Name: "t", Schema: NewSchema([]rel.ColID{1, 2})}
+	for g := int64(0); g < 50; g++ {
+		for i := int64(0); i < 20; i++ {
+			tab.Rows = append(tab.Rows, Row{g, i})
+		}
+	}
+	tab.compact()
+	preds := []rel.Pred{{Col: 2, Op: rel.CmpLT, Val: 10}}
+	aggs := []rel.Agg{{Fn: rel.AggCount}, {Fn: rel.AggSum, Col: 2}}
+
+	want := collectAll(t, NewSortGroupBy(NewFilter(NewTableScan(tab), tab.Schema, preds), tab.Schema, []rel.ColID{1}, aggs))
+	got := collectAll(t, NewColSortGroupBy(NewColFilter(NewColScan(tab), tab.Schema, preds), tab.Schema, []rel.ColID{1}, aggs))
+	if Fingerprint(got) != Fingerprint(want) {
+		t.Fatalf("columnar sort group-by over filter differs: %d vs %d groups", len(got), len(want))
+	}
+	if len(got) != 50 || got[0][1] != 10 || got[0][2] != 45 {
+		t.Fatalf("unexpected group output: %v", got[0])
+	}
+}
+
+// TestAllocWholeRowChunks is the regression test for the arena-refill
+// fix: a chunk that is not a whole-row multiple used to strand its
+// remainder at every refill, costing extra allocations. With the chunk
+// rounded up to a width multiple, 240 width-3 rows at chunk 8 (rounded
+// to 9: three rows per arena) need exactly 80 refills, not 120.
+func TestAllocWholeRowChunks(t *testing.T) {
+	const width, chunk, rows = 3, 8, 240
+	b := &Batch{Rows: make([]Row, 0, rows)}
+	allocs := testing.AllocsPerRun(10, func() {
+		b.reset()
+		b.arena = nil
+		for i := 0; i < rows; i++ {
+			b.alloc(width, chunk)
+		}
+	})
+	if allocs > 80 {
+		t.Fatalf("%.0f arena refills for %d width-%d rows at chunk %d; want <= 80 (whole-row chunks)",
+			allocs, rows, width, chunk)
+	}
+	// The carved rows must still be distinct, writable storage.
+	for i, r := range b.Rows {
+		r[0] = int64(i)
+	}
+	for i, r := range b.Rows {
+		if r[0] != int64(i) {
+			t.Fatalf("row %d storage aliased", i)
+		}
+	}
+}
+
+// TestAllocRowsBlock checks the bulk carver: headers slice one
+// contiguous block, refills honor whole-row chunks, and a block larger
+// than the chunk is carved in one piece.
+func TestAllocRowsBlock(t *testing.T) {
+	b := &Batch{}
+	block := b.allocRows(4, 3, 6)
+	if len(block) != 12 || len(b.Rows) != 4 {
+		t.Fatalf("allocRows(4,3,6): block %d rows %d", len(block), len(b.Rows))
+	}
+	for i := range block {
+		block[i] = int64(i)
+	}
+	for i, r := range b.Rows {
+		for j := 0; j < 3; j++ {
+			if r[j] != int64(i*3+j) {
+				t.Fatalf("row %d not a view of the block: %v", i, r)
+			}
+		}
+	}
+	if got := b.allocRows(0, 3, 6); got != nil {
+		t.Fatalf("allocRows(0,...) = %v, want nil", got)
+	}
+}
+
+// TestColScanStripes checks that striped columnar scans cover the table
+// exactly once, matching the row scan's striping.
+func TestColScanStripes(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	tab := randTable(rng, []rel.ColID{1, 2}, 1000)
+	for _, stripes := range []int{2, 3, 4} {
+		var all []Row
+		for i := 0; i < stripes; i++ {
+			s := NewColScan(tab)
+			s.SetStripe(i, stripes)
+			s.SetBatchSize(64)
+			all = append(all, collectAll(t, s)...)
+		}
+		if len(all) != len(tab.Rows) {
+			t.Fatalf("stripes %d: %d rows, want %d", stripes, len(all), len(tab.Rows))
+		}
+		if Fingerprint(all) != Fingerprint(tab.Rows) {
+			t.Fatalf("stripes %d: striped union differs from table", stripes)
+		}
+	}
+}
+
+// --- benchmarks: the row/batch/columnar kernel comparison at 10⁵ rows.
+
+func benchTable(n int) *Table {
+	rng := rand.New(rand.NewSource(1))
+	t := &Table{Name: "b", Schema: NewSchema([]rel.ColID{1, 2, 3, 4})}
+	t.Rows = make([]Row, n)
+	for i := range t.Rows {
+		t.Rows[i] = Row{int64(i), int64(rng.Intn(n / 6)), int64(rng.Intn(n / 3)), int64(rng.Intn(1000))}
+	}
+	t.compact()
+	return t
+}
+
+func drain(b *testing.B, it Iterator) int {
+	rows, err := Collect(it)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return len(rows)
+}
+
+func BenchmarkScanFilterRow(b *testing.B) {
+	tab := benchTable(100000)
+	preds := []rel.Pred{{Col: 4, Op: rel.CmpLT, Val: 500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, NewFilter(NewTableScan(tab), tab.Schema, preds))
+	}
+}
+
+func BenchmarkScanFilterColumnar(b *testing.B) {
+	tab := benchTable(100000)
+	preds := []rel.Pred{{Col: 4, Op: rel.CmpLT, Val: 500}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drain(b, NewColFilter(NewColScan(tab), tab.Schema, preds))
+	}
+}
+
+func BenchmarkHashAggRow(b *testing.B) {
+	tab := benchTable(100000)
+	aggs := []rel.Agg{{Fn: rel.AggCount}, {Fn: rel.AggSum, Col: 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewHashGroupBy(NewTableScan(tab), tab.Schema, []rel.ColID{2}, aggs)
+		g.SizeHint = 100000 / 6
+		drain(b, g)
+	}
+}
+
+func BenchmarkHashAggColumnar(b *testing.B) {
+	tab := benchTable(100000)
+	aggs := []rel.Agg{{Fn: rel.AggCount}, {Fn: rel.AggSum, Col: 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewColHashGroupBy(NewColScan(tab), tab.Schema, []rel.ColID{2}, aggs)
+		g.SizeHint = 100000 / 6
+		drain(b, g)
+	}
+}
+
+func BenchmarkHashJoinRow(b *testing.B) {
+	tab := benchTable(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewHashJoin(NewTableScan(tab), NewTableScan(tab), tab.Schema, tab.Schema, 1, 1, []int{0, 4})
+		j.BuildHint = 100000
+		drain(b, j)
+	}
+}
+
+func BenchmarkHashJoinColumnar(b *testing.B) {
+	tab := benchTable(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewColHashJoin(NewColScan(tab), NewColScan(tab), tab.Schema, tab.Schema, 1, 1, []int{0, 4})
+		j.BuildHint = 100000
+		drain(b, j)
+	}
+}

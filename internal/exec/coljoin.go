@@ -1,0 +1,255 @@
+package exec
+
+// ColHashJoin is the columnar hash join: the left input is drained into
+// column-major build vectors, the right input probes batch by batch with
+// the whole probe-key vector hashed up front (the independent lookups
+// overlap their cache misses), and output batches are produced by
+// per-column gather loops instead of per-row header-and-copy work.
+type ColHashJoin struct {
+	// Left and Right are the input streams; Left builds.
+	Left, Right Iterator
+	// BuildHint pre-sizes the build storage and hash table, as in
+	// HashJoin.
+	BuildHint int
+	// KeyHint estimates the distinct build keys, as in HashJoin.
+	KeyHint int
+
+	lpos, rpos     int
+	proj           []int
+	lwidth, rwidth int
+	size           int
+
+	// Build state: bcols holds every build row column-major, head is the
+	// open-addressed key index (see joinTable), chain links rows sharing
+	// a key.
+	right ColBatchIterator
+	bcols [][]int64
+	head  joinTable
+	chain []int32
+
+	// Probe state. A match pair (lidx[i], ridx[i]) names a build row and
+	// a row of the current probe batch; output vectors gather through
+	// them. An output batch never spans two probe batches: probe vectors
+	// may be recycled by the producer, so pending matches are flushed
+	// before pulling the next batch.
+	pb       *ColBatch
+	pi, pn   int
+	hits     []int32
+	hit      int32
+	probeRow int32
+	lidx     []int32
+	ridx     []int32
+	vecs     [][]int64
+	view     ColBatch
+	out      Batch
+	ra       rowAdapter
+}
+
+// NewColHashJoin resolves join columns (and an optional fused
+// projection, indexing the concatenated left++right row) against the
+// input schemas.
+func NewColHashJoin(left, right Iterator, lschema, rschema *Schema, lcol, rcol int, proj []int) *ColHashJoin {
+	return &ColHashJoin{
+		Left: left, Right: right,
+		lpos: lcol, rpos: rcol,
+		proj:   proj,
+		lwidth: lschema.Width(),
+		rwidth: rschema.Width(),
+		size:   DefaultBatchSize,
+	}
+}
+
+// SetBatchSize sets the rows per batch.
+func (h *ColHashJoin) SetBatchSize(n int) { h.size = sizeOrDefault(n) }
+
+// outWidth returns the output row width.
+func (h *ColHashJoin) outWidth() int {
+	if h.proj != nil {
+		return len(h.proj)
+	}
+	return h.lwidth + h.rwidth
+}
+
+// Open builds the columnar hash table from the left input.
+func (h *ColHashJoin) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	h.right = asCols(h.Right)
+	h.bcols = make([][]int64, h.lwidth)
+	for j := range h.bcols {
+		h.bcols[j] = make([]int64, 0, h.BuildHint)
+	}
+	tableHint := h.BuildHint
+	if h.KeyHint > 0 && h.KeyHint < tableHint {
+		tableHint = h.KeyHint
+	}
+	h.head = newJoinTable(tableHint)
+	h.chain = h.chain[:0]
+	h.pb, h.pi, h.pn, h.hit, h.probeRow = nil, 0, 0, -1, 0
+	if len(h.lidx) < h.size {
+		h.lidx = make([]int32, h.size)
+		h.ridx = make([]int32, h.size)
+	}
+	if h.vecs == nil || len(h.vecs[0]) < h.size {
+		h.vecs = make([][]int64, h.outWidth())
+		for j := range h.vecs {
+			h.vecs[j] = make([]int64, h.size)
+		}
+	}
+	h.ra.reset()
+
+	build := asCols(h.Left)
+	keys := 0
+	for {
+		cb, ok, err := build.NextColBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		base := len(h.bcols[0])
+		// Append the batch column by column: a dense batch is one bulk
+		// copy per column, a selective one gathers through Sel.
+		if cb.Sel == nil {
+			for j := range h.bcols {
+				h.bcols[j] = append(h.bcols[j], cb.Cols[j][:cb.N]...)
+			}
+		} else {
+			for j := range h.bcols {
+				dst := h.bcols[j]
+				col := cb.Cols[j]
+				for _, s := range cb.Sel {
+					dst = append(dst, col[s])
+				}
+				h.bcols[j] = dst
+			}
+		}
+		keycol := h.bcols[h.lpos][base:]
+		for i, k := range keycol {
+			idx := int32(base + i)
+			h.head.grow(keys + 1)
+			if prev := h.head.put(k, idx); prev >= 0 {
+				h.chain = append(h.chain, prev)
+			} else {
+				h.chain = append(h.chain, -1)
+				keys++
+			}
+		}
+	}
+}
+
+// NextColBatch returns the next columnar batch of joined rows. The
+// output vectors are owned by the join and recycled per call.
+func (h *ColHashJoin) NextColBatch() (*ColBatch, bool, error) {
+	m := 0
+	for {
+		// Drain the pending chain and walk the current probe batch.
+		for m < h.size {
+			if h.hit >= 0 {
+				h.lidx[m], h.ridx[m] = h.hit, h.probeRow
+				m++
+				h.hit = h.chain[h.hit]
+				continue
+			}
+			if h.pi >= h.pn {
+				break
+			}
+			i := h.pi
+			h.pi++
+			if h.pb.Sel != nil {
+				h.probeRow = h.pb.Sel[i]
+			} else {
+				h.probeRow = int32(i)
+			}
+			h.hit = h.hits[i]
+		}
+		if m >= h.size {
+			break
+		}
+		// The current probe batch is exhausted. Flush what we have
+		// before pulling the next batch: its vectors may recycle the
+		// current ones, and ridx still points into them.
+		if m > 0 {
+			break
+		}
+		cb, ok, err := h.right.NextColBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		h.pb, h.pi, h.pn = cb, 0, cb.Len()
+		// Probe the whole batch up front, as in HashJoin.
+		if cap(h.hits) < h.pn {
+			h.hits = make([]int32, h.pn)
+		}
+		h.hits = h.hits[:h.pn]
+		keycol := cb.Cols[h.rpos]
+		if cb.Sel == nil {
+			keycol = keycol[:cb.N]
+			for i, k := range keycol {
+				h.hits[i] = h.head.get(k)
+			}
+		} else {
+			for i, s := range cb.Sel {
+				h.hits[i] = h.head.get(keycol[s])
+			}
+		}
+	}
+
+	// Gather the output vectors through the match pairs.
+	lidx, ridx := h.lidx[:m], h.ridx[:m]
+	h.view.Cols = h.view.Cols[:0]
+	for j := 0; j < h.outWidth(); j++ {
+		p := j
+		if h.proj != nil {
+			p = h.proj[j]
+		}
+		dst := h.vecs[j][:m]
+		if p < h.lwidth {
+			src := h.bcols[p]
+			for k, li := range lidx {
+				dst[k] = src[li]
+			}
+		} else {
+			src := h.pb.Cols[p-h.lwidth]
+			for k, ri := range ridx {
+				dst[k] = src[ri]
+			}
+		}
+		h.view.Cols = append(h.view.Cols, dst)
+	}
+	h.view.Sel, h.view.N = nil, m
+	return &h.view, true, nil
+}
+
+// NextBatch materializes the next joined rows onto the row protocol.
+func (h *ColHashJoin) NextBatch() (*Batch, bool, error) {
+	cb, ok, err := h.NextColBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	h.out.reset()
+	materializeInto(&h.out, cb, len(cb.Cols)*h.size)
+	return &h.out, true, nil
+}
+
+// Next returns the next joined row.
+func (h *ColHashJoin) Next() (Row, bool, error) { return h.ra.next(h) }
+
+// Close releases the build storage and closes both inputs.
+func (h *ColHashJoin) Close() error {
+	h.bcols, h.head, h.chain = nil, joinTable{}, nil
+	h.pb = nil
+	err := h.Left.Close()
+	if err2 := h.Right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}

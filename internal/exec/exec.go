@@ -69,13 +69,22 @@ type Table struct {
 	Schema *Schema
 	// Rows is the table's contents.
 	Rows []Row
+
+	// cols is the column-major projection of Rows, built once by
+	// compact: one dense vector per column, in clustered order, so a
+	// ColScan produces columnar batches as zero-copy windows without a
+	// transpose on the hot path. Nil for tables that were never
+	// compacted (hand-built test tables) or are empty; the plan builder
+	// falls back to row scans then.
+	cols [][]int64
 }
 
 // compact rewrites the table's row storage into one contiguous slab in
-// scan order. Loaded rows arrive as individually allocated slices in
-// whatever order the loader produced them; after sorting into clustered
-// order a scan would chase pointers all over the heap. The slab makes a
-// full scan a sequential sweep and frees the per-row allocations.
+// scan order, and builds the column-major projection from it. Loaded
+// rows arrive as individually allocated slices in whatever order the
+// loader produced them; after sorting into clustered order a scan would
+// chase pointers all over the heap. The slab makes a full scan a
+// sequential sweep and frees the per-row allocations.
 func (t *Table) compact() {
 	width := 0
 	for _, r := range t.Rows {
@@ -86,6 +95,30 @@ func (t *Table) compact() {
 		off := len(slab)
 		slab = append(slab, r...)
 		t.Rows[i] = Row(slab[off:len(slab):len(slab)])
+	}
+	t.buildCols()
+}
+
+// buildCols materializes the table's column-major projection: one
+// vector per schema column, carved from a single slab. It doubles the
+// table's memory footprint in exchange for transpose-free columnar
+// scans; both layouts share the clustered order.
+func (t *Table) buildCols() {
+	n := len(t.Rows)
+	w := t.Schema.Width()
+	if n == 0 || w == 0 {
+		t.cols = nil
+		return
+	}
+	slab := make([]int64, w*n)
+	t.cols = make([][]int64, w)
+	for j := 0; j < w; j++ {
+		t.cols[j] = slab[j*n : (j+1)*n : (j+1)*n]
+	}
+	for i, r := range t.Rows {
+		for j, v := range r {
+			t.cols[j][i] = v
+		}
 	}
 }
 

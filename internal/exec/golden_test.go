@@ -16,7 +16,9 @@ import (
 
 // engineConfigs are the executor configurations the golden tests compare:
 // the row-at-a-time baseline, batched execution at the default and at an
-// awkward odd batch size, and a single-row batch with fusion left on.
+// awkward odd batch size, a single-row batch with fusion left on, and
+// the columnar engine at the default, an odd, and a single-row batch
+// size.
 var engineConfigs = []struct {
 	name string
 	opts exec.Options
@@ -25,6 +27,9 @@ var engineConfigs = []struct {
 	{"batch", exec.Options{}},
 	{"batch7", exec.Options{BatchSize: 7}},
 	{"batch1-fused", exec.Options{BatchSize: 1}},
+	{"columnar", exec.Options{Columnar: true}},
+	{"columnar7", exec.Options{Columnar: true, BatchSize: 7}},
+	{"columnar1", exec.Options{Columnar: true, BatchSize: 1}},
 }
 
 // TestEnginesAgreeRandomQueries runs randomized select-join queries
@@ -66,15 +71,17 @@ func TestEnginesAgreeRandomQueries(t *testing.T) {
 				continue // no parallel plan at this degree for this query
 			}
 			for _, workers := range []int{0, 2} {
-				got, schema, err := exec.RunOpts(nil, db, parPlan,
-					nil, exec.Options{ExchangeWorkers: workers})
-				if err != nil {
-					t.Fatalf("trial %d degree %d workers %d: %v\nplan:\n%s",
-						trial, degree, workers, err, parPlan.Format())
-				}
-				if fp := exec.Fingerprint(exec.Canonical(got, schema)); fp != golden {
-					t.Fatalf("trial %d: exchange degree %d workers %d differs from row engine (%d vs %d rows)\nplan:\n%s",
-						trial, degree, workers, len(got), goldenRows, parPlan.Format())
+				for _, columnar := range []bool{false, true} {
+					got, schema, err := exec.RunOpts(nil, db, parPlan,
+						nil, exec.Options{ExchangeWorkers: workers, Columnar: columnar})
+					if err != nil {
+						t.Fatalf("trial %d degree %d workers %d columnar %v: %v\nplan:\n%s",
+							trial, degree, workers, columnar, err, parPlan.Format())
+					}
+					if fp := exec.Fingerprint(exec.Canonical(got, schema)); fp != golden {
+						t.Fatalf("trial %d: exchange degree %d workers %d columnar %v differs from row engine (%d vs %d rows)\nplan:\n%s",
+							trial, degree, workers, columnar, len(got), goldenRows, parPlan.Format())
+					}
 				}
 			}
 		}

@@ -287,13 +287,36 @@ func (t *joinTable) put(k int64, idx int32) int32 {
 	}
 }
 
-// grow doubles the table when load reaches half, rehashing every slot.
+// lookupOrInsert returns the index stored for k, or stores idx for it
+// and returns -1 (new key). Unlike put it never replaces an existing
+// entry, which makes it a group-index primitive: the first index
+// assigned to a key wins. The caller ensures capacity via grow.
+func (t *joinTable) lookupOrInsert(k int64, idx int32) int32 {
+	for s := t.hash(k); ; s = (s + 1) & t.mask {
+		sl := &t.slots[s]
+		if sl.ref == 0 {
+			sl.key, sl.ref = k, idx+1
+			return -1
+		} else if sl.key == k {
+			return sl.ref - 1
+		}
+	}
+}
+
+// grow rebuilds the table when the requested entry count would pass half
+// load, rehashing every slot. Incremental callers (one insert at a time)
+// get the classic doubling; bulk callers reserving a whole batch's worst
+// case up front get a table sized for it in one rebuild.
 func (t *joinTable) grow(entries int) {
 	if 2*entries < len(t.slots) {
 		return
 	}
+	capacity := entries
+	if capacity < len(t.slots) {
+		capacity = len(t.slots) // newJoinTable doubles: size >= 2*cap
+	}
 	old := *t
-	*t = newJoinTable(len(t.slots)) // newJoinTable doubles: size >= 2*cap
+	*t = newJoinTable(capacity)
 	for _, sl := range old.slots {
 		if sl.ref != 0 {
 			t.put(sl.key, sl.ref-1)

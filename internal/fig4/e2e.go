@@ -14,7 +14,7 @@ import (
 
 // E2EEngine is one engine configuration's measurement on one workload.
 type E2EEngine struct {
-	// Engine names the configuration: "row", "batch", or
+	// Engine names the configuration: "row", "batch", "columnar", or
 	// "batch+exchange(d)".
 	Engine string `json:"engine"`
 	// WallMS is the execution wall time (plan build + drain).
@@ -23,6 +23,9 @@ type E2EEngine struct {
 	RowsOut int `json:"rows_out"`
 	// SpeedupVsRow is the row engine's wall time divided by this one's.
 	SpeedupVsRow float64 `json:"speedup_vs_row"`
+	// SpeedupVsBatch is the batch engine's wall time divided by this
+	// one's — the columnar engine's headline number.
+	SpeedupVsBatch float64 `json:"speedup_vs_batch,omitempty"`
 	// Match reports whether the result multiset equals the row engine's.
 	Match bool `json:"match"`
 	// Error records an engine that could not run (e.g. the parallel
@@ -46,6 +49,9 @@ type E2EResult struct {
 	// GOMAXPROCS records the hardware parallelism available to the run;
 	// exchange speedups beyond 1 require more than one CPU.
 	GOMAXPROCS int `json:"gomaxprocs"`
+	// Seed is the datagen seed the tables were generated from, so a
+	// recorded run can be reproduced bit-for-bit with -seed.
+	Seed int64 `json:"seed"`
 	// Rows is the target table cardinality.
 	Rows int64 `json:"rows"`
 	// BatchSize is the batched engines' rows per batch.
@@ -166,7 +172,8 @@ func (e *e2eEngineRun) run(db *exec.DB, rep int) {
 
 // RunE2E optimizes and executes the end-to-end benchmark workloads over
 // generated tables of about `rows` rows each, A/B-ing the row-at-a-time
-// engine (batch size 1, fusion off), the batched engine, and the batched
+// engine (batch size 1, fusion off), the batched engine, the columnar
+// engine (vectorized kernels over per-column batches), and the batched
 // engine behind a parallel exchange at each degree. Every engine's
 // result multiset is gated against the row engine's. batchSize 0 means
 // the default; workers 0 means one producer per partition; degrees
@@ -185,6 +192,7 @@ func RunE2E(cfg Config, rows int64, batchSize, workers int, degrees []int) E2ERe
 
 	res := E2EResult{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       cfg.Seed,
 		Rows:       rows,
 		BatchSize:  exec.DefaultBatchSize,
 		Workers:    workers,
@@ -204,10 +212,13 @@ func RunE2E(cfg Config, rows int64, batchSize, workers int, degrees []int) E2ERe
 
 		// Row engine: batch size 1 and no fusion reproduce the seed
 		// interpreter's one-call-one-row cost shape. Its result is the
-		// baseline multiset every other engine must match.
+		// baseline multiset every other engine must match. The columnar
+		// engine swaps the hot operators for vectorized kernels over
+		// per-column batches at the same batch size.
 		engines := []*e2eEngineRun{
 			{name: "row", plan: plan, opts: exec.Options{BatchSize: 1, NoFusion: true}},
 			{name: "batch", plan: plan, opts: exec.Options{BatchSize: batchSize}},
+			{name: "columnar", plan: plan, opts: exec.Options{BatchSize: batchSize, Columnar: true}},
 		}
 		for _, d := range degrees {
 			name := fmt.Sprintf("batch+exchange(%d)", d)
@@ -232,12 +243,15 @@ func RunE2E(cfg Config, rows int64, batchSize, workers int, degrees []int) E2ERe
 			}
 		}
 
-		row := engines[0]
+		row, batch := engines[0], engines[1]
 		if row.err != nil {
 			panic(fmt.Sprintf("fig4: e2e row engine %s: %v", w.name, row.err))
 		}
 		parFailures := wl.Engines // plans the parallel model declined
 		wl.Engines = []E2EEngine{{Engine: "row", WallMS: row.wall, RowsOut: row.n, SpeedupVsRow: 1, Match: true}}
+		if batch.err == nil && row.wall > 0 {
+			wl.Engines[0].SpeedupVsBatch = batch.wall / row.wall
+		}
 		for _, e := range engines[1:] {
 			out := E2EEngine{Engine: e.name, WallMS: e.wall, RowsOut: e.n}
 			switch {
@@ -251,6 +265,9 @@ func RunE2E(cfg Config, rows int64, batchSize, workers int, degrees []int) E2ERe
 				}
 				if e.wall > 0 {
 					out.SpeedupVsRow = row.wall / e.wall
+					if batch.err == nil {
+						out.SpeedupVsBatch = batch.wall / e.wall
+					}
 				}
 			}
 			wl.Engines = append(wl.Engines, out)
@@ -270,7 +287,7 @@ func FormatE2E(r E2EResult) string {
 	}
 	for _, wl := range r.Workloads {
 		out += fmt.Sprintf("%s — optimized in %.1f ms\n", wl.Name, wl.OptimizeMS)
-		out += fmt.Sprintf("  %-20s %10s %10s %8s %6s\n", "engine", "wall-ms", "rows", "speedup", "match")
+		out += fmt.Sprintf("  %-20s %10s %10s %8s %9s %6s\n", "engine", "wall-ms", "rows", "vs-row", "vs-batch", "match")
 		for _, e := range wl.Engines {
 			if e.Error != "" {
 				out += fmt.Sprintf("  %-20s %s\n", e.Engine, e.Error)
@@ -280,7 +297,8 @@ func FormatE2E(r E2EResult) string {
 			if !e.Match {
 				match = "FAIL"
 			}
-			out += fmt.Sprintf("  %-20s %10.1f %10d %7.2fx %6s\n", e.Engine, e.WallMS, e.RowsOut, e.SpeedupVsRow, match)
+			out += fmt.Sprintf("  %-20s %10.1f %10d %7.2fx %8.2fx %6s\n",
+				e.Engine, e.WallMS, e.RowsOut, e.SpeedupVsRow, e.SpeedupVsBatch, match)
 		}
 	}
 	out += fmt.Sprintf("result mismatches: %d\n", r.Mismatches)

@@ -51,6 +51,13 @@ type Config struct {
 	// seed-floor) plan found, still producing exact results. Default
 	// {Timeout: 2ms, MaxSteps: 5000}.
 	DegradedBudget core.Budget
+	// DegradedBudgets overrides the degraded tier per endpoint path
+	// (e.g. "/explain"); endpoints without an entry fall back to
+	// DegradedBudget. By default /explain and /prepare — plan-only
+	// endpoints where a seed-floor plan is a complete answer — are
+	// tiered at half the /query budget, so under pressure the tier
+	// sheds optimization effort first where no rows depend on it.
+	DegradedBudgets map[string]core.Budget
 	// DefaultTimeout is the per-request deadline when the client sends
 	// none; MaxTimeout clamps client-requested deadlines. Defaults 2s
 	// and 30s.
@@ -77,6 +84,22 @@ func (c *Config) withDefaults() Config {
 	if out.DegradedBudget == (core.Budget{}) {
 		out.DegradedBudget = core.Budget{Timeout: 2 * time.Millisecond, MaxSteps: 5000}
 	}
+	// Copy the per-endpoint overrides (so the caller's map is never
+	// aliased) and fill the default tighter tiers for the plan-only
+	// endpoints.
+	budgets := make(map[string]core.Budget, len(out.DegradedBudgets)+2)
+	for path, b := range out.DegradedBudgets {
+		budgets[path] = b
+	}
+	for _, path := range []string{"/explain", "/prepare"} {
+		if _, ok := budgets[path]; !ok {
+			budgets[path] = core.Budget{
+				Timeout:  out.DegradedBudget.Timeout / 2,
+				MaxSteps: out.DegradedBudget.MaxSteps / 2,
+			}
+		}
+	}
+	out.DegradedBudgets = budgets
 	if out.DefaultTimeout <= 0 {
 		out.DefaultTimeout = 2 * time.Second
 	}
@@ -261,6 +284,10 @@ type handlerFn func(ctx context.Context, req *Request) (any, *vdb.Result, error)
 func (s *Server) endpoint(path string, fn handlerFn) {
 	ep := &epStats{}
 	s.eps[path] = ep
+	degradedBudget := s.cfg.DegradedBudget
+	if b, ok := s.cfg.DegradedBudgets[path]; ok {
+		degradedBudget = b
+	}
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, errorBody{Error: "POST required"})
@@ -302,7 +329,7 @@ func (s *Server) endpoint(path string, fn handlerFn) {
 		defer cancel()
 		budget := core.Budget{Timeout: d / 2}
 		if degraded {
-			budget = s.cfg.DegradedBudget
+			budget = degradedBudget
 		}
 		ctx = vdb.WithBudget(ctx, budget)
 

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/vdb"
 )
@@ -325,6 +326,94 @@ func TestClientDisconnect(t *testing.T) {
 	}
 	if snap.Serve.Inflight != 0 {
 		t.Errorf("inflight %d after cancellations", snap.Serve.Inflight)
+	}
+}
+
+// TestPerEndpointDegradedTiers: each endpoint degrades onto its own
+// budget tier. With every admit under pressure (degradeAt=1), a
+// one-step tier on /explain and /prepare forces budget-stopped
+// (Degraded) plans there, while the same statement through /query —
+// whose tier is effectively unbounded — optimizes fully.
+func TestPerEndpointDegradedTiers(t *testing.T) {
+	db := openDemo(t, 8)
+	s := New(db, &Config{
+		MaxConcurrent:  2,
+		DegradeFrac:    0.01, // degradeAt=1: every admit is "under pressure"
+		DegradedBudget: core.Budget{MaxSteps: 10_000_000},
+		DegradedBudgets: map[string]core.Budget{
+			"/explain": {MaxSteps: 1},
+			"/prepare": {MaxSteps: 1},
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sql := "SELECT R1.id FROM R1, R2, R3, R4, R5, R6, R7, R8 " +
+		"WHERE R1.ja = R2.id AND R2.ja = R3.id AND R3.ja = R4.id AND R4.ja = R5.id " +
+		"AND R5.ja = R6.id AND R6.ja = R7.id AND R7.ja = R8.id"
+
+	// /explain first: a degraded plan is never cached, so it cannot be
+	// served from (or pollute) the cache the later /query fills.
+	resp, body := postJSON(t, ts, "/explain", Request{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/explain status %d: %s", resp.StatusCode, body)
+	}
+	var er Result
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Degraded || er.Plan == "" {
+		t.Errorf("/explain on a 1-step tier: degraded=%v plan=%q, want a degraded plan", er.Degraded, er.Plan)
+	}
+
+	// A non-parameterized prepare: dynamic-plan preparation ($n
+	// statements) deliberately ignores budgets, so only the static
+	// path shows the tier.
+	resp, body = postJSON(t, ts, "/prepare", Request{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/prepare status %d: %s", resp.StatusCode, body)
+	}
+	var pr Result
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Degraded {
+		t.Errorf("/prepare on a 1-step tier: degraded=%v, want true", pr.Degraded)
+	}
+
+	resp, body = postJSON(t, ts, "/query", Request{SQL: sql})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/query status %d: %s", resp.StatusCode, body)
+	}
+	var qr Result
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Degraded {
+		t.Errorf("/query on the roomy tier degraded (%s); tiers did not separate", qr.StopReason)
+	}
+
+	snap := s.Metrics()
+	if snap.Serve.DegradedAdmits < 3 {
+		t.Errorf("degradeAt=1 but only %d degraded admits recorded", snap.Serve.DegradedAdmits)
+	}
+}
+
+// TestDegradedTierDefaults: the zero config tiers /explain and
+// /prepare at half the general degraded budget.
+func TestDegradedTierDefaults(t *testing.T) {
+	cfg := New(openDemo(t, 2), nil).Config()
+	want := core.Budget{
+		Timeout:  cfg.DegradedBudget.Timeout / 2,
+		MaxSteps: cfg.DegradedBudget.MaxSteps / 2,
+	}
+	for _, path := range []string{"/explain", "/prepare"} {
+		if got := cfg.DegradedBudgets[path]; got != want {
+			t.Errorf("%s default tier %+v, want %+v", path, got, want)
+		}
+	}
+	if _, ok := cfg.DegradedBudgets["/query"]; ok {
+		t.Errorf("/query should ride the general DegradedBudget, not its own tier")
 	}
 }
 

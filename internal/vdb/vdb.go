@@ -51,7 +51,8 @@ type Options struct {
 	// are cached by shape. Budget-degraded plans are never cached.
 	CacheBytes int64
 	// Exec tunes the execution engine: batch size, exchange producer
-	// parallelism, and scan-filter fusion.
+	// parallelism, scan-filter fusion, and columnar kernel selection
+	// (exec.Options.Columnar).
 	Exec exec.Options
 }
 
