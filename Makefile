@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-col bench-mqo bench-serve profile fuzz-fingerprint
+.PHONY: build test test-race test-race-core vet staticcheck bench bench-guided bench-anytime bench-cache bench-spar bench-e2e bench-col bench-mqo bench-mcts bench-serve profile fuzz-fingerprint
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,14 @@ bench-col:
 # against independent execution). Override ROWS for other scales.
 bench-mqo:
 	$(GO) run ./cmd/volcano-bench -experiment fig4mqo -rows $(ROWS) -json ""
+
+# Stochastic-policy smoke: MCTS and iterative widening vs guided
+# branch-and-bound on a small fixed-seed grid. volcano-bench exits
+# non-zero if any plan violates the anytime contract or a stochastic
+# policy's mean cost exceeds 1.5x guided B&B.
+bench-mcts:
+	$(GO) run ./cmd/volcano-bench -experiment fig4mcts -seed 7 -queries 4 \
+		-mcts-levels 8,10 -mcts-steps 300,1000 -json ""
 
 # Serving tier under open-loop load: an in-process volcano-serve daemon
 # measured unloaded, then at ~2× its estimated capacity. Every completed

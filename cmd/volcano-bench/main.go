@@ -7,6 +7,7 @@
 //	volcano-bench -experiment fig4spar   # intra-query parallel search A/B
 //	volcano-bench -experiment fig4cache  # plan-cache hit vs cold latency
 //	volcano-bench -experiment fig4mqo    # shared-memo multi-query optimization
+//	volcano-bench -experiment fig4mcts   # stochastic policies vs guided B&B at 10-16 relations
 //	volcano-bench -experiment e2e        # optimize-and-execute engine A/B
 //	volcano-bench -experiment serve      # serving tier under open-loop load
 //	volcano-bench -experiment ablation   # pruning / failure memo / glue mode
@@ -58,6 +59,16 @@
 // row fingerprints collected before any load; the experiment exits
 // non-zero on any mismatch.
 //
+// The fig4mcts experiment maps the quality-vs-time frontier of the
+// budgeted stochastic search policies (MCTS and iterative widening)
+// against guided branch-and-bound under shared step budgets on 10-16
+// relation queries (-mcts-levels, -mcts-steps, -queries tune the grid;
+// it is not part of -experiment all because the default grid is
+// expensive). It exits non-zero if any returned plan violates the
+// anytime contract or if a stochastic policy's mean plan cost exceeds
+// 1.5x guided branch-and-bound in any cell. Results land in the JSON
+// report's quality section.
+//
 // The fig4 experiment additionally writes a machine-readable report
 // (default BENCH_fig4.json; -json "" disables) so per-level optimization
 // time, plan cost, memo size, and search-effort counters can be tracked
@@ -70,6 +81,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -78,7 +91,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | fig4mqo | e2e | serve | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
+	experiment := flag.String("experiment", "fig4", "fig4 | fig4guided | fig4par | fig4spar | fig4cache | fig4mqo | fig4mcts | e2e | serve | ablation | altprops | leftdeep | heuristic | setops | memory | anytime | all")
 	queries := flag.Int("queries", 50, "queries per complexity level")
 	seed := flag.Int64("seed", 1993, "workload seed")
 	minRels := flag.Int("min-rels", 2, "smallest number of input relations")
@@ -96,6 +109,8 @@ func main() {
 	serveDuration := flag.Duration("serve-duration", 3*time.Second, "serve experiment length per phase")
 	batchSize := flag.Int("batch-size", 0, "e2e executor rows per batch (0 = default)")
 	execWorkers := flag.Int("exec-workers", 0, "e2e exchange producer goroutines (0 = one per partition)")
+	mctsLevels := flag.String("mcts-levels", "", "fig4mcts comma-separated relation counts (empty = 10,12,14,16)")
+	mctsSteps := flag.String("mcts-steps", "", "fig4mcts comma-separated step budgets (empty = 300,1000,3000,10000)")
 	jsonPath := flag.String("json", "BENCH_fig4.json", "machine-readable fig4 report path (empty = skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -160,6 +175,7 @@ func main() {
 	var fig4E2E *fig4.E2EResult
 	var fig4MQO *fig4.MQOResult
 	var fig4Serve *fig4.ServeResult
+	var fig4Quality *fig4.QualityResult
 
 	run := func(name string) {
 		switch name {
@@ -234,6 +250,30 @@ func main() {
 				fmt.Fprintf(os.Stderr, "volcano-bench: %d cache-served plans diverged from fresh optimization costs\n", fig4Cache.Mismatches)
 				os.Exit(1)
 			}
+		case "fig4mcts":
+			levels, err := parseIntList(*mctsLevels)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "volcano-bench: -mcts-levels: %v\n", err)
+				os.Exit(2)
+			}
+			steps, err := parseIntList(*mctsSteps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "volcano-bench: -mcts-steps: %v\n", err)
+				os.Exit(2)
+			}
+			fig4Quality = fig4.RunMCTS(cfg, levels, steps)
+			fmt.Print(fig4.FormatMCTS(fig4Quality))
+			if fig4Quality.VetFailures > 0 {
+				fmt.Fprintf(os.Stderr, "volcano-bench: %d stochastic-policy plans violated the anytime contract\n", fig4Quality.VetFailures)
+				os.Exit(1)
+			}
+			for _, p := range fig4Quality.Points {
+				if p.MCTSVsGuided > 1.5 || p.WideningVsGuided > 1.5 {
+					fmt.Fprintf(os.Stderr, "volcano-bench: stochastic plan cost exceeded 1.5x guided B&B at %d relations / %d steps (mcts %.3fx, widening %.3fx)\n",
+						p.Relations, p.MaxSteps, p.MCTSVsGuided, p.WideningVsGuided)
+					os.Exit(1)
+				}
+			}
 		case "ablation":
 			fmt.Print(fig4.FormatAblation(fig4.RunAblation(cfg)))
 		case "altprops":
@@ -287,13 +327,14 @@ func main() {
 		run(*experiment)
 	}
 
-	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil || fig4MQO != nil || fig4Serve != nil) {
+	if *jsonPath != "" && (fig4Points != nil || fig4Sweep != nil || fig4Cache != nil || fig4Spar != nil || fig4E2E != nil || fig4MQO != nil || fig4Serve != nil || fig4Quality != nil) {
 		rep := fig4.NewBenchReport(cfg, fig4Points, fig4Sweep)
 		rep.Cache = fig4Cache
 		rep.Spar = fig4Spar
 		rep.E2E = fig4E2E
 		rep.MQO = fig4MQO
 		rep.Serve = fig4Serve
+		rep.Quality = fig4Quality
 		// Keep the sections of experiments this invocation did not rerun,
 		// and merge rerun levels into the existing per-level curve.
 		if old, err := fig4.ReadBenchJSON(*jsonPath); err == nil {
@@ -324,6 +365,9 @@ func main() {
 			if fig4Serve == nil {
 				rep.Serve = old.Serve
 			}
+			if fig4Quality == nil {
+				rep.Quality = old.Quality
+			}
 		}
 		if err := fig4.WriteBenchJSON(*jsonPath, rep); err != nil {
 			fmt.Fprintf(os.Stderr, "volcano-bench: writing %s: %v\n", *jsonPath, err)
@@ -331,4 +375,21 @@ func main() {
 		}
 		fmt.Printf("(wrote %s)\n", *jsonPath)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive integers; an
+// empty string yields nil (the experiment's defaults).
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

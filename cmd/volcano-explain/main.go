@@ -45,6 +45,9 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "optimization step budget in moves pursued (0 = unbounded)")
 	cacheSize := flag.Int64("cache-size", 0, "plan-cache budget in bytes; >0 replays the query through the plan cache and reports the verified-hit latency")
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
+	searchPolicy := flag.String("search-policy", "exhaustive", "search policy: exhaustive, mcts, or widening")
+	randSeed := flag.Int64("rand-seed", 0, "stochastic policy RNG seed (0 = fixed default; runs are deterministic either way)")
+	episodes := flag.Int("episodes", 0, "stochastic policy episode count (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -73,6 +76,13 @@ func main() {
 	opts.Budget.Timeout = *timeout
 	opts.Budget.MaxSteps = *maxSteps
 	opts.Search.Workers = *searchWorkers
+	pol, err := core.ParseSearchPolicy(*searchPolicy)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Search.Policy = pol
+	opts.Search.RandSeed = *randSeed
+	opts.Search.Episodes = *episodes
 	model := relopt.New(cat, relopt.DefaultConfig())
 	if *guided {
 		opts.Guidance.SeedPlanner = model.SeedPlanner()

@@ -8,6 +8,7 @@
 //	\stats             show the last optimization's full counters
 //	\cache             show plan-cache counters
 //	\workers N         set intra-query search workers (1 = sequential)
+//	\policy NAME       set the search policy (exhaustive, mcts, widening)
 //	\seed N            regenerate the database with a new seed
 //	\quit
 //
@@ -28,6 +29,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -54,14 +57,24 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "per-query optimization step budget in moves pursued (0 = unbounded)")
 	cacheSize := flag.Int64("cache-size", 64<<20, "plan-cache budget in bytes (0 disables the cache)")
 	searchWorkers := flag.Int("search-workers", 0, "intra-query search workers (0 or 1 = sequential engine)")
+	searchPolicy := flag.String("search-policy", "exhaustive", "search policy: exhaustive, mcts, or widening")
+	randSeed := flag.Int64("rand-seed", 0, "stochastic policy RNG seed (0 = fixed default; runs are deterministic either way)")
+	episodes := flag.Int("episodes", 0, "stochastic policy episode count (0 = default)")
 	batchSize := flag.Int("batch-size", 0, "executor rows per batch (0 = default, 1 = row-at-a-time)")
 	execWorkers := flag.Int("exec-workers", 0, "exchange producer goroutines (0 = one per partition)")
 	columnar := flag.Bool("columnar", false, "execute with vectorized columnar kernels where the plan allows")
 	flag.Parse()
 
+	pol, err := core.ParseSearchPolicy(*searchPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "volcano-repl:", err)
+		os.Exit(2)
+	}
+
 	budget := core.Budget{Timeout: *timeout, MaxSteps: *maxSteps}
 	r := &repl{limit: *limit, tables: *tables, guided: *guided, trace: *trace, budget: budget,
 		cacheBytes: *cacheSize, workers: *searchWorkers, dataDir: *dataDir,
+		policy: pol, randSeed: *randSeed, episodes: *episodes,
 		batchSize: *batchSize, execWorkers: *execWorkers, columnar: *columnar}
 	if *dataDir != "" {
 		if err := r.openDir(); err != nil {
@@ -97,6 +110,9 @@ type repl struct {
 	cacheBytes int64
 	workers    int
 	dataDir    string
+	policy     core.SearchPolicy
+	randSeed   int64
+	episodes   int
 
 	batchSize   int
 	execWorkers int
@@ -111,6 +127,9 @@ func (r *repl) options() *vdb.Options {
 	opts := &vdb.Options{Guided: r.guided, CacheBytes: r.cacheBytes}
 	opts.Search.Budget = r.budget
 	opts.Search.Search.Workers = r.workers
+	opts.Search.Search.Policy = r.policy
+	opts.Search.Search.RandSeed = r.randSeed
+	opts.Search.Search.Episodes = r.episodes
 	opts.Exec.BatchSize = r.batchSize
 	opts.Exec.ExchangeWorkers = r.execWorkers
 	opts.Exec.Columnar = r.columnar
@@ -175,12 +194,13 @@ func (r *repl) dispatch(line string) bool {
 		fmt.Printf("database regenerated with seed %d\n", n)
 
 	case strings.HasPrefix(line, `\explain `):
-		plan, err := r.db.Explain(strings.TrimPrefix(line, `\explain `))
+		res, err := r.db.ExplainCtx(context.Background(), strings.TrimPrefix(line, `\explain `))
 		if err != nil {
 			fmt.Println("error:", err)
 			break
 		}
-		fmt.Print(plan)
+		r.last = &res.Stats
+		fmt.Print(res.PlanText)
 
 	case strings.HasPrefix(line, `\memo `):
 		r.memo(strings.TrimPrefix(line, `\memo `))
@@ -209,6 +229,22 @@ func (r *repl) dispatch(line string) bool {
 			fmt.Println("sequential engine restored (plan cache cleared)")
 		}
 
+	case line == `\policy`:
+		fmt.Printf("search policy: %v\n", r.policy)
+
+	case strings.HasPrefix(line, `\policy `):
+		pol, err := core.ParseSearchPolicy(strings.TrimSpace(strings.TrimPrefix(line, `\policy `)))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		r.policy = pol
+		if err := r.reopen(); err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("search policy set to %v (plan cache cleared)\n", pol)
+
 	case strings.HasPrefix(line, `\batch `):
 		r.batch(strings.TrimPrefix(line, `\batch `))
 
@@ -227,7 +263,7 @@ func (r *repl) dispatch(line string) bool {
 		fmt.Printf("            %d entries, %d bytes resident\n", ct.Entries, ct.CacheBytes)
 
 	case strings.HasPrefix(line, `\`):
-		fmt.Println("unknown command; available: \\tables \\explain \\memo \\batch \\stats \\cache \\workers \\seed \\quit")
+		fmt.Println("unknown command; available: \\tables \\explain \\memo \\batch \\stats \\cache \\workers \\policy \\seed \\quit")
 
 	default:
 		r.query(line)
@@ -244,14 +280,22 @@ func (r *repl) memo(sql string) {
 	model := relopt.New(r.cat, relopt.DefaultConfig())
 	opts := &core.Options{Budget: r.budget}
 	opts.Search.Workers = r.workers
+	opts.Search.Policy = r.policy
+	opts.Search.RandSeed = r.randSeed
+	opts.Search.Episodes = r.episodes
 	if r.guided {
 		opts.Guidance.SeedPlanner = model.SeedPlanner()
 	}
 	opt := core.NewOptimizer(model, opts)
 	root := opt.InsertQuery(st.Tree)
 	if _, err := opt.Optimize(root, st.Required); err != nil {
-		fmt.Println("error:", err)
-		return
+		// A budget stop still leaves a well-formed (partial) memo and
+		// meaningful counters; only hard errors abandon the command.
+		if !errors.Is(err, core.ErrBudget) {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("budget exhausted (%v); showing the partial memo\n", err)
 	}
 	r.last = opt.Stats()
 	fmt.Print(opt.Memo().Format())

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/serve"
 	"repro/internal/vdb"
@@ -47,8 +48,15 @@ func main() {
 		queueTimeout   = flag.Duration("queue-timeout", 0, "bounded admission wait (0 = 25ms)")
 		degradeFrac    = flag.Float64("degrade-frac", 0, "inflight fraction at which admits degrade (0 = 0.75)")
 		defaultTimeout = flag.Duration("default-timeout", 0, "per-request deadline when the client sends none (0 = 2s)")
+		degradedPol    = flag.String("degraded-policy", "exhaustive", "search policy for degraded admits: exhaustive, mcts, or widening")
 	)
 	flag.Parse()
+
+	pol, err := core.ParseSearchPolicy(*degradedPol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "volcano-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	src := datagen.New(*seed)
 	cat := src.ScaledCatalog(*n, *rows)
@@ -61,6 +69,7 @@ func main() {
 		QueueTimeout:   *queueTimeout,
 		DegradeFrac:    *degradeFrac,
 		DefaultTimeout: *defaultTimeout,
+		DegradedPolicy: pol,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -50,6 +50,28 @@ type ScalableCost interface {
 	Scale(factor float64) Cost
 }
 
+// MetricCost is an optional extension of the cost ADT for cost types
+// that can project themselves onto a single scalar. The stochastic
+// search policies use the metric to turn achieved plan costs into
+// UCT rewards and floor priors into first-visit greedy choices; cost
+// types without it still work, with selection degrading to promise
+// order and visit counts (comparisons via Less only).
+type MetricCost interface {
+	Cost
+	// Metric returns a scalar proxy for the cost, monotone with Less:
+	// a.Less(b) implies a.Metric() < b.Metric() for comparable values.
+	Metric() float64
+}
+
+// costMetric projects a cost onto its scalar metric when the cost type
+// provides one.
+func costMetric(c Cost) (float64, bool) {
+	if m, ok := c.(MetricCost); ok {
+		return m.Metric(), true
+	}
+	return 0, false
+}
+
 // CostModel supplies the distinguished cost values the search engine
 // needs: a zero for accumulation and an infinity for initial limits.
 // It is part of the Model interface.

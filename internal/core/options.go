@@ -85,6 +85,79 @@ type SearchOptions struct {
 	// incremental cache does not replay — and Validate rejects the
 	// combination otherwise.
 	MoveFilter func(moves []Move) []Move
+	// Policy selects the search policy. The zero value is the paper's
+	// exhaustive directed dynamic programming; PolicyMCTS and
+	// PolicyWidening replace it with budgeted stochastic search over the
+	// same memo: episodes that pursue one move per goal instead of all
+	// of them, committing completed sub-plans into the ordinary winner
+	// tables so anytime fallback, budgets, tracing, and Stats keep
+	// their contracts. A stochastic policy cannot prove that no plan
+	// exists: where the exhaustive engine returns (nil, nil) as proof
+	// of absence, a policy run returns the best vetted fallback plan
+	// instead, and returns nil only when not even a fallback exists.
+	// Policies run on the sequential engine (Workers <= 1) and require
+	// the incremental move cache; Validate rejects other combinations.
+	Policy SearchPolicy
+	// RandSeed seeds the stochastic policy's random stream. Runs with
+	// equal seeds (and no wall-clock budget) are deterministic:
+	// byte-identical plans and Stats. The zero value is a fixed seed,
+	// not a random one, so policy runs are reproducible by default.
+	RandSeed int64
+	// Episodes bounds the number of rollout episodes a stochastic
+	// policy runs; values < 1 mean DefaultPolicyEpisodes. Budget bounds
+	// (MaxSteps, Timeout) stop the episode loop early with the usual
+	// anytime degradation.
+	Episodes int
+}
+
+// SearchPolicy selects the engine's search policy: exhaustive directed
+// dynamic programming, or one of the budgeted stochastic policies built
+// for the 10–16-relation regime where exhaustive search exceeds any
+// reasonable budget.
+type SearchPolicy int8
+
+const (
+	// PolicyExhaustive is the paper's complete search (the default).
+	PolicyExhaustive SearchPolicy = iota
+	// PolicyMCTS selects Monte-Carlo tree search over memo goals: the
+	// promise-ordered move list is the action set, rollouts are
+	// greedy-seeded (admissible floors as priors) and run to complete
+	// plans, and achieved costs back up through a UCT-style selection
+	// tree keyed by (class, physical property vector).
+	PolicyMCTS
+	// PolicyWidening selects iterative widening on the same machinery:
+	// each pass widens the considered prefix of every goal's
+	// promise-ordered move list by one, pursuing the least-visited move
+	// within the prefix. It is deterministic even across RandSeed
+	// values — the A/B control for PolicyMCTS.
+	PolicyWidening
+)
+
+// String renders the policy name as accepted by ParseSearchPolicy.
+func (p SearchPolicy) String() string {
+	switch p {
+	case PolicyExhaustive:
+		return "exhaustive"
+	case PolicyMCTS:
+		return "mcts"
+	case PolicyWidening:
+		return "widening"
+	}
+	return fmt.Sprintf("SearchPolicy(%d)", int(p))
+}
+
+// ParseSearchPolicy maps a policy name (as rendered by String) to its
+// SearchPolicy value; CLI -search-policy flags use it.
+func ParseSearchPolicy(s string) (SearchPolicy, error) {
+	switch s {
+	case "", "exhaustive":
+		return PolicyExhaustive, nil
+	case "mcts":
+		return PolicyMCTS, nil
+	case "widening":
+		return PolicyWidening, nil
+	}
+	return PolicyExhaustive, fmt.Errorf("core: unknown search policy %q (want exhaustive, mcts, or widening)", s)
 }
 
 // GuidanceOptions configure guided branch-and-bound: a seed planner
@@ -155,6 +228,27 @@ func (o *Options) Validate() error {
 	}
 	if o.Search.ShareMemo && o.Guidance.SeedPlanner != nil {
 		return errors.New("core: Guidance.SeedPlanner seeds one root's limit and cannot guide a Search.ShareMemo batch of roots")
+	}
+	switch o.Search.Policy {
+	case PolicyExhaustive:
+	case PolicyMCTS, PolicyWidening:
+		if o.Search.Workers > 1 {
+			return errors.New("core: stochastic search policies require the sequential engine (Search.Workers <= 1)")
+		}
+		if o.Search.GlueMode {
+			return errors.New("core: Search.GlueMode and a stochastic Search.Policy are mutually exclusive")
+		}
+		if o.Search.ShareMemo {
+			return errors.New("core: Search.ShareMemo batches run the exhaustive task engine; a stochastic Search.Policy cannot drive them")
+		}
+		if o.Search.NoIncremental || o.Search.MoveFilter != nil {
+			return errors.New("core: stochastic search policies index the incremental move cache; Search.NoIncremental and Search.MoveFilter are incompatible with them")
+		}
+	default:
+		return fmt.Errorf("core: unknown Search.Policy %d", int(o.Search.Policy))
+	}
+	if o.Search.Episodes < 0 {
+		return fmt.Errorf("core: Search.Episodes must not be negative, got %d", o.Search.Episodes)
 	}
 	if o.Guidance.SeedStages < 0 {
 		return fmt.Errorf("core: Guidance.SeedStages must not be negative, got %d", o.Guidance.SeedStages)
@@ -313,6 +407,14 @@ type Stats struct {
 	// planner supplied only a cost. When non-nil, a budget-stopped search
 	// never returns a plan costing more than this floor.
 	SeedFloorCost Cost
+
+	// Episodes counts the rollout episodes a stochastic search policy
+	// ran (Options.Search.Policy); zero for exhaustive runs.
+	Episodes int
+	// RolloutCommits counts sub-plans a stochastic policy's rollouts
+	// committed into the memo's winner tables — new winners or
+	// improvements over earlier episodes. Zero for exhaustive runs.
+	RolloutCommits int
 
 	// CacheHit reports that this result was served from a plan cache:
 	// the plan, cost, and the other counters in this struct describe

@@ -33,6 +33,9 @@ type Optimizer struct {
 	// seedFallback is a complete plan captured from the seed planner,
 	// kept as the degradation floor for anytime returns.
 	seedFallback *Plan
+	// pol is the state of a stochastic search policy run (selection
+	// tree and random stream); nil for exhaustive runs. See policy.go.
+	pol *policyState
 }
 
 // NewOptimizer creates an optimizer for the model. opts may be nil for
@@ -127,7 +130,10 @@ func (o *Optimizer) OptimizeWithLimit(root GroupID, required PhysProps, limit Co
 //   - (plan, nil): the search ran to completion; plan is optimal within
 //     the limit.
 //   - (nil, nil): the search ran to completion and proved that no plan
-//     within the limit exists.
+//     within the limit exists. Under a stochastic Search.Policy the
+//     proof is weaker — the policy cannot certify absence, so it
+//     returns the best vetted fallback plan instead, and (nil, nil)
+//     only means not even a fallback within the limit exists.
 //   - (plan?, err) with errors.Is(err, ErrBudget): the context was
 //     canceled or a Budget bound was exhausted. The search degrades
 //     gracefully instead of failing: plan, when non-nil, is the best
@@ -165,6 +171,8 @@ func (o *Optimizer) OptimizeWithLimitCtx(ctx context.Context, root GroupID, requ
 	var plan *Plan
 	if o.memo.err == nil {
 		switch {
+		case o.opts.Search.Policy != PolicyExhaustive:
+			plan = o.policyOptimize(root, required, limit)
 		case o.opts.Search.GlueMode:
 			plan = o.glueOptimize(root, required, limit)
 		case o.opts.Guidance.SeedPlanner != nil:
@@ -279,6 +287,20 @@ type goal struct {
 	// transient is set when a failure was (possibly) caused by an
 	// in-progress cycle or budget stop, making it unsafe to memoize.
 	transient bool
+	// policy routes input optimizations through the stochastic policy's
+	// rolloutGoal instead of the exhaustive findBestPlan (see policy.go).
+	policy bool
+}
+
+// optimizeInput optimizes one input goal of a pursued move, dispatching
+// to the engine the enclosing goal runs under: the exhaustive
+// FindBestPlan, or — inside a stochastic policy episode — a rollout
+// that itself pursues one selected move.
+func (o *Optimizer) optimizeInput(s *goal, gid GroupID, required, excluded PhysProps, limit Cost) (*Plan, bool) {
+	if s.policy {
+		return o.rolloutGoal(gid, required, excluded, limit, s.inclusive)
+	}
+	return o.findBestPlan(gid, required, excluded, limit, s.inclusive)
 }
 
 // findBestPlan is the paper's FindBestPlan (Figure 2) extended with the
@@ -732,7 +754,7 @@ func (o *Optimizer) pursueAlgorithm(s *goal, g *Group, mv *Move) {
 				rest = rest.Sub(floors[i])
 				partial = total.Add(rest)
 			}
-			p, tr := o.findBestPlan(leaf, childReq, nil, o.childLimit(s, partial), s.inclusive)
+			p, tr := o.optimizeInput(s, leaf, childReq, nil, o.childLimit(s, partial))
 			if p == nil {
 				s.transient = s.transient || tr
 				ok = false
@@ -832,7 +854,7 @@ func (o *Optimizer) pursueEnforcer(s *goal, g *Group, enf *Enforcer) {
 		}
 		return
 	}
-	in, tr := o.findBestPlan(g.id, relaxed, excl, o.childLimit(s, total), s.inclusive)
+	in, tr := o.optimizeInput(s, g.id, relaxed, excl, o.childLimit(s, total))
 	if in == nil {
 		s.transient = s.transient || tr
 		return

@@ -34,6 +34,11 @@ const (
 	// TraceBudgetStop reports the search stopping on a budget bound or
 	// cancellation; Err carries the typed budget error.
 	TraceBudgetStop
+	// TracePolicyEpisode reports a stochastic search policy completing
+	// one rollout episode: Stage is the 1-based episode number, Steps
+	// the cumulative search steps, and Cost/Plan the best complete root
+	// plan known so far (nil when no episode has completed one yet).
+	TracePolicyEpisode
 )
 
 // String names the event kind.
@@ -59,6 +64,8 @@ func (k TraceEventKind) String() string {
 		return "limit-stage"
 	case TraceBudgetStop:
 		return "budget-stop"
+	case TracePolicyEpisode:
+		return "policy-episode"
 	}
 	return fmt.Sprintf("TraceEventKind(%d)", uint8(k))
 }
@@ -148,6 +155,11 @@ func formatTraceEvent(ev TraceEvent) string {
 		return fmt.Sprintf("stage %d limit=%s", ev.Stage, ev.Limit)
 	case TraceBudgetStop:
 		return fmt.Sprintf("budget stop: %v after %d steps", ev.Err, ev.Steps)
+	case TracePolicyEpisode:
+		if ev.Cost != nil {
+			return fmt.Sprintf("episode %d best=%s steps=%d", ev.Stage, ev.Cost, ev.Steps)
+		}
+		return fmt.Sprintf("episode %d (no complete plan yet) steps=%d", ev.Stage, ev.Steps)
 	}
 	return fmt.Sprintf("%s group=%d", ev.Kind, ev.Group)
 }

@@ -67,6 +67,8 @@ type CachePoint struct {
 
 // CacheResult is the full outcome of the serving experiment.
 type CacheResult struct {
+	// Seed is the datagen seed the workload was generated from.
+	Seed int64 `json:"seed"`
 	// Points holds one entry per complexity level.
 	Points []CachePoint `json:"points"`
 	// Counters snapshots the cache at the end of the run.
@@ -87,7 +89,7 @@ func RunCache(cfg CacheConfig) *CacheResult {
 	model := relopt.New(cat, relopt.DefaultConfig())
 	cache := plancache.New(plancache.Options{MaxBytes: cfg.CacheBytes})
 
-	res := &CacheResult{}
+	res := &CacheResult{Seed: cfg.Seed}
 	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
 		pt := CachePoint{Relations: n, Queries: cfg.QueriesPerLevel}
 		var coldSum, warmSum float64

@@ -26,6 +26,8 @@ type BenchReport struct {
 	MQO *MQOResult `json:"mqo,omitempty"`
 	// Serve holds the serving-tier load measurements, when run.
 	Serve *ServeResult `json:"serve,omitempty"`
+	// Quality holds the stochastic-policy frontier sweep, when run.
+	Quality *QualityResult `json:"quality,omitempty"`
 }
 
 // BenchConfig is the subset of Config that shapes the measurements.

@@ -1,0 +1,282 @@
+package fig4
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rel"
+	"repro/internal/relopt"
+)
+
+// The fig4mcts experiment maps the quality-vs-time frontier of the
+// budgeted stochastic search policies (Options.Search.Policy) on join
+// queries past the exhaustive sweet spot: 10-16 input relations under
+// step budgets where proving optimality is out of reach. Each query is
+// optimized three ways under the same step budget — guided
+// branch-and-bound, MCTS, and iterative widening — and every returned
+// plan is vetted against the anytime contract (complete, covers the
+// required properties, costs no more than the seed floor). Ratios
+// against the unbudgeted optimum are reported for levels small enough
+// to compute it.
+
+// optimalMaxRelations bounds the levels for which the unbudgeted
+// optimum is computed; beyond it, exhaustive search is exactly what the
+// experiment demonstrates we cannot afford.
+const optimalMaxRelations = 10
+
+// QualityResult is the fig4mcts section of the benchmark report.
+type QualityResult struct {
+	// Seed is the datagen seed the workload was generated from (also
+	// the stochastic policies' RNG seed), so a recorded run can be
+	// reproduced bit-for-bit with -seed.
+	Seed int64 `json:"seed"`
+	// QueriesPerLevel is the number of random queries per level.
+	QueriesPerLevel int `json:"queries_per_level"`
+	// OptimalMaxRelations is the largest level whose unbudgeted
+	// optimum was computed for the *_vs_optimal ratios.
+	OptimalMaxRelations int `json:"optimal_max_relations"`
+	// Levels and Budgets echo the sweep grid.
+	Levels  []int `json:"levels"`
+	Budgets []int `json:"budgets"`
+	// Points holds one entry per (level, budget) cell.
+	Points []QualityPoint `json:"points"`
+	// VetFailures totals anytime-contract violations across all cells.
+	// Any non-zero value is a bug.
+	VetFailures int `json:"vet_failures"`
+}
+
+// QualityPoint is one (relations, step budget) cell of the frontier.
+type QualityPoint struct {
+	Relations int `json:"relations"`
+	MaxSteps  int `json:"max_steps"`
+	Queries   int `json:"queries"`
+	// Episodes is the per-query episode budget handed to the policies.
+	Episodes int `json:"episodes"`
+	// *Completed count runs that finished inside the step budget
+	// (err == nil); the rest returned their anytime best.
+	GuidedCompleted   int `json:"guided_completed"`
+	MCTSCompleted     int `json:"mcts_completed"`
+	WideningCompleted int `json:"widening_completed"`
+	// *MS are mean wall milliseconds per query.
+	GuidedMS   float64 `json:"guided_ms"`
+	MCTSMS     float64 `json:"mcts_ms"`
+	WideningMS float64 `json:"widening_ms"`
+	// *VsSeed are mean plan-cost ratios against the greedy seed
+	// estimate (usually well under 1.0 — how much the search improved
+	// on its starting point — but the estimate prices a plan the greedy
+	// planner never builds, so a cell can exceed 1.0 when the estimate
+	// is unachievable and the search relaxed past it).
+	GuidedVsSeed   float64 `json:"guided_vs_seed"`
+	MCTSVsSeed     float64 `json:"mcts_vs_seed"`
+	WideningVsSeed float64 `json:"widening_vs_seed"`
+	// *VsGuided are mean per-query cost ratios against guided
+	// branch-and-bound under the same budget (1.0 = parity).
+	MCTSVsGuided     float64 `json:"mcts_vs_guided"`
+	WideningVsGuided float64 `json:"widening_vs_guided"`
+	// *VsOptimal are mean cost ratios against the unbudgeted optimum,
+	// zero when Relations > OptimalMaxRelations.
+	GuidedVsOptimal   float64 `json:"guided_vs_optimal,omitempty"`
+	MCTSVsOptimal     float64 `json:"mcts_vs_optimal,omitempty"`
+	WideningVsOptimal float64 `json:"widening_vs_optimal,omitempty"`
+	// VetFailures counts anytime-contract violations in this cell.
+	VetFailures int `json:"vet_failures"`
+}
+
+// RunMCTS executes the stochastic-policy frontier sweep. Nil levels or
+// budgets select the default grid: 10-16 relations in steps of two,
+// step budgets 300 to 10,000.
+func RunMCTS(cfg Config, levels, budgets []int) *QualityResult {
+	cfg = cfg.Defaults()
+	if len(levels) == 0 {
+		levels = []int{10, 12, 14, 16}
+	}
+	if len(budgets) == 0 {
+		budgets = []int{300, 1000, 3000, 10000}
+	}
+	maxRels := levels[0]
+	for _, n := range levels {
+		if n > maxRels {
+			maxRels = n
+		}
+	}
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(maxRels)
+	model := relopt.New(cat, relopt.DefaultConfig())
+	seedPlanner := model.SeedPlanner()
+
+	res := &QualityResult{
+		Seed:                cfg.Seed,
+		QueriesPerLevel:     cfg.QueriesPerLevel,
+		OptimalMaxRelations: optimalMaxRelations,
+		Levels:              levels,
+		Budgets:             budgets,
+	}
+
+	for _, n := range levels {
+		queries := make([]datagen.Query, cfg.QueriesPerLevel)
+		for q := range queries {
+			queries[q] = src.SelectJoinQuery(cat, n, cfg.Shape)
+		}
+		// The unbudgeted optimum, where exhaustive search still finishes.
+		var optimal []float64
+		if n <= optimalMaxRelations {
+			optimal = make([]float64, len(queries))
+			for q, query := range queries {
+				_, cost, _, err := MeasureVolcano(cat, query, &core.Options{
+					Guidance: core.GuidanceOptions{SeedPlanner: seedPlanner},
+				})
+				if err != nil {
+					panic(fmt.Sprintf("fig4: unbudgeted run failed at %d relations: %v", n, err))
+				}
+				optimal[q] = cost
+			}
+		}
+
+		for _, steps := range budgets {
+			// One rollout pursues a handful of moves per join, so this
+			// episode budget comfortably exceeds what the step budget can
+			// pay for; the step budget is the binding constraint.
+			episodes := 4
+			if e := steps / (6 * n); e > episodes {
+				episodes = e
+			}
+			pt := QualityPoint{Relations: n, MaxSteps: steps, Queries: len(queries), Episodes: episodes}
+			var gSeed, mSeed, wSeed, mGuided, wGuided float64
+			var gOpt, mOpt, wOpt float64
+			var gMS, mMS, wMS float64
+			rated := 0
+			for q, query := range queries {
+				guidedOpts := &core.Options{
+					Guidance: core.GuidanceOptions{SeedPlanner: seedPlanner},
+					Budget:   core.Budget{MaxSteps: steps},
+				}
+				gPlan, gStats, gms, gerr := measureBudgeted(cat, model, query, guidedOpts)
+				policyOpts := func(pol core.SearchPolicy) *core.Options {
+					return &core.Options{
+						Guidance: core.GuidanceOptions{SeedPlanner: seedPlanner},
+						Budget:   core.Budget{MaxSteps: steps},
+						Search:   core.SearchOptions{Policy: pol, RandSeed: cfg.Seed, Episodes: episodes},
+					}
+				}
+				mPlan, mStats, mms, merr := measureBudgeted(cat, model, query, policyOpts(core.PolicyMCTS))
+				wPlan, wStats, wms, werr := measureBudgeted(cat, model, query, policyOpts(core.PolicyWidening))
+				gMS += gms
+				mMS += mms
+				wMS += wms
+				if gerr == nil {
+					pt.GuidedCompleted++
+				}
+				if merr == nil {
+					pt.MCTSCompleted++
+				}
+				if werr == nil {
+					pt.WideningCompleted++
+				}
+				for _, r := range []struct {
+					plan  *core.Plan
+					stats core.Stats
+				}{{gPlan, gStats}, {mPlan, mStats}, {wPlan, wStats}} {
+					if !vetQuality(r.plan, query, r.stats) {
+						pt.VetFailures++
+					}
+				}
+				if gPlan == nil || mPlan == nil || wPlan == nil {
+					continue // ratios are meaningless without a plan
+				}
+				rated++
+				gCost := gPlan.Cost.(relopt.Cost).Total()
+				mCost := mPlan.Cost.(relopt.Cost).Total()
+				wCost := wPlan.Cost.(relopt.Cost).Total()
+				if sc, ok := gStats.SeedCost.(relopt.Cost); ok && sc.Total() > 0 {
+					gSeed += gCost / sc.Total()
+					mSeed += mCost / sc.Total()
+					wSeed += wCost / sc.Total()
+				}
+				mGuided += mCost / gCost
+				wGuided += wCost / gCost
+				if optimal != nil && optimal[q] > 0 {
+					gOpt += gCost / optimal[q]
+					mOpt += mCost / optimal[q]
+					wOpt += wCost / optimal[q]
+				}
+			}
+			pt.GuidedMS = gMS / float64(len(queries))
+			pt.MCTSMS = mMS / float64(len(queries))
+			pt.WideningMS = wMS / float64(len(queries))
+			if rated > 0 {
+				f := float64(rated)
+				pt.GuidedVsSeed, pt.MCTSVsSeed, pt.WideningVsSeed = gSeed/f, mSeed/f, wSeed/f
+				pt.MCTSVsGuided, pt.WideningVsGuided = mGuided/f, wGuided/f
+				if optimal != nil {
+					pt.GuidedVsOptimal, pt.MCTSVsOptimal, pt.WideningVsOptimal = gOpt/f, mOpt/f, wOpt/f
+				}
+			}
+			res.VetFailures += pt.VetFailures
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+// measureBudgeted optimizes one query under the given options and
+// returns the plan, stats, wall milliseconds, and the optimizer's error
+// verbatim (a budget error may accompany a usable plan).
+func measureBudgeted(cat *rel.Catalog, model core.Model, query datagen.Query, opts *core.Options) (*core.Plan, core.Stats, float64, error) {
+	opt := core.NewOptimizer(model, opts)
+	root := opt.InsertQuery(query.Root)
+	var required core.PhysProps
+	if query.OrderBy != rel.InvalidCol {
+		required = relopt.SortedOn(query.OrderBy)
+	}
+	start := time.Now()
+	plan, err := opt.Optimize(root, required)
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		panic(fmt.Sprintf("fig4: non-budget error on budgeted run: %v", err))
+	}
+	return plan, *opt.Stats(), float64(elapsed.Nanoseconds()) / 1e6, err
+}
+
+// vetQuality checks the anytime contract: the plan is complete, covers
+// the required properties, and costs no more than the materialized seed
+// floor (the syntactic plan). The binding bound is the floor, not the
+// greedy seed's SeedCost number: the greedy planner prices a plan it
+// never builds, so its estimate can be unachievable, and both guided
+// B&B and the stochastic policies relax past it in stages when it is.
+func vetQuality(plan *core.Plan, query datagen.Query, stats core.Stats) bool {
+	return validAnytime(plan, query, stats)
+}
+
+// FormatMCTS renders the frontier table.
+func FormatMCTS(res *QualityResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Stochastic search policies vs guided B&B under step budgets (cost ratios, 1.00 = parity)\n")
+	fmt.Fprintf(&b, "%-5s %7s %5s %9s %9s %9s %10s %10s %11s %12s %9s %9s %10s %8s\n",
+		"rels", "steps", "eps", "guided-ms", "mcts-ms", "widen-ms",
+		"mcts/seed", "widen/seed", "mcts/guided", "widen/guided",
+		"mcts/opt", "widen/opt", "done g/m/w", "vet-fail")
+	for _, p := range res.Points {
+		opt := func(v float64) string {
+			if v == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.3f", v)
+		}
+		fmt.Fprintf(&b, "%-5d %7d %5d %9.1f %9.1f %9.1f %10.3f %10.3f %11.3f %12.3f %9s %9s %3d/%d/%-3d %8d\n",
+			p.Relations, p.MaxSteps, p.Episodes,
+			p.GuidedMS, p.MCTSMS, p.WideningMS,
+			p.MCTSVsSeed, p.WideningVsSeed,
+			p.MCTSVsGuided, p.WideningVsGuided,
+			opt(p.MCTSVsOptimal), opt(p.WideningVsOptimal),
+			p.GuidedCompleted, p.MCTSCompleted, p.WideningCompleted,
+			p.VetFailures)
+	}
+	if res.VetFailures > 0 {
+		fmt.Fprintf(&b, "ANYTIME CONTRACT VIOLATIONS: %d\n", res.VetFailures)
+	}
+	return b.String()
+}

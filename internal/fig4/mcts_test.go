@@ -1,0 +1,83 @@
+package fig4
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/relopt"
+)
+
+// TestPolicyAnytimeProperty is the anytime property test at scale: on
+// randomized 10-12 relation queries under tight step budgets, every
+// search configuration — guided branch-and-bound and both stochastic
+// policies — must hand back a vetted complete plan (delivers the
+// required properties, costs no more than the syntactic seed) whether
+// or not the budget stopped it.
+func TestPolicyAnytimeProperty(t *testing.T) {
+	cfg := Config{Seed: 3, QueriesPerLevel: 4}.Defaults()
+	src := datagen.New(cfg.Seed)
+	cat := src.Catalog(12)
+	model := relopt.New(cat, relopt.DefaultConfig())
+	seedPlanner := model.SeedPlanner()
+
+	for _, n := range []int{10, 12} {
+		for q := 0; q < cfg.QueriesPerLevel; q++ {
+			query := src.SelectJoinQuery(cat, n, cfg.Shape)
+			for _, steps := range []int{40, 400} {
+				for _, pol := range []core.SearchPolicy{core.PolicyExhaustive, core.PolicyMCTS, core.PolicyWidening} {
+					opts := &core.Options{
+						Guidance: core.GuidanceOptions{SeedPlanner: seedPlanner},
+						Budget:   core.Budget{MaxSteps: steps},
+					}
+					if pol != core.PolicyExhaustive {
+						opts.Search = core.SearchOptions{Policy: pol, RandSeed: cfg.Seed, Episodes: 8}
+					}
+					plan, stats, _, err := measureBudgeted(cat, model, query, opts)
+					if err != nil && !errors.Is(err, core.ErrBudget) {
+						t.Fatalf("n=%d q=%d steps=%d %v: unexpected error %v", n, q, steps, pol, err)
+					}
+					if !validAnytime(plan, query, stats) {
+						t.Errorf("n=%d q=%d steps=%d %v: anytime contract violated (plan=%v, err=%v)",
+							n, q, steps, pol, plan, err)
+					}
+					if got := stats.Steps(); got > steps {
+						t.Errorf("n=%d q=%d steps=%d %v: pursued %d moves past the budget", n, q, steps, pol, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunMCTSSmall exercises the experiment harness end to end on a
+// tiny grid, checking the report's shape and gates.
+func TestRunMCTSSmall(t *testing.T) {
+	cfg := Config{Seed: 11, QueriesPerLevel: 2}
+	res := RunMCTS(cfg, []int{8}, []int{300})
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if p.Relations != 8 || p.MaxSteps != 300 || p.Queries != 2 {
+		t.Errorf("unexpected cell: %+v", p)
+	}
+	if res.VetFailures != 0 {
+		t.Errorf("vet failures = %d, want 0", res.VetFailures)
+	}
+	if p.MCTSVsGuided <= 0 || p.WideningVsGuided <= 0 {
+		t.Errorf("missing guided ratios: %+v", p)
+	}
+	// 8 relations with a completing budget: both policies should land
+	// within the B&B gate used by make bench-mcts.
+	if p.MCTSVsGuided > 1.5 || p.WideningVsGuided > 1.5 {
+		t.Errorf("stochastic cost exceeds 1.5x guided: mcts %.3f widening %.3f", p.MCTSVsGuided, p.WideningVsGuided)
+	}
+	if res.Seed != 11 {
+		t.Errorf("seed not recorded: %d", res.Seed)
+	}
+	if FormatMCTS(res) == "" {
+		t.Error("empty rendering")
+	}
+}

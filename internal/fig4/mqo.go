@@ -43,6 +43,8 @@ type MQOQuery struct {
 // MQOResult is the outcome of RunMQO, serialized into BENCH_fig4.json
 // as the "mqo" section.
 type MQOResult struct {
+	// Seed is the datagen seed the workload was generated from.
+	Seed int64 `json:"seed"`
 	// GOMAXPROCS records the hardware parallelism available to the run.
 	GOMAXPROCS int `json:"gomaxprocs"`
 	// Rows is the target table cardinality.
@@ -138,7 +140,7 @@ func RunMQO(cfg Config, rows int64, searchWorkers int) MQOResult {
 	model := relopt.New(cat, relopt.DefaultConfig())
 	workloads := mqoWorkloads(cat)
 
-	res := MQOResult{GOMAXPROCS: runtime.GOMAXPROCS(0), Rows: rows}
+	res := MQOResult{Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0), Rows: rows}
 
 	// Independent baseline: one fresh optimizer per query, then execute
 	// each plan alone. Costs, counters, and result fingerprints are the

@@ -29,6 +29,9 @@ type SweepPoint struct {
 // Sweep is the result of RunVolcanoSweep: per-level batch throughput of
 // the worker-pool driver, plus totals.
 type Sweep struct {
+	// Seed is the datagen seed the workload was generated from, so a
+	// recorded run can be reproduced bit-for-bit with -seed.
+	Seed int64 `json:"seed"`
 	// Workers is the pool size used.
 	Workers int `json:"workers"`
 	// WallMS is the total wall-clock time across levels.
@@ -53,7 +56,7 @@ func RunVolcanoSweep(cfg Config, workers int) Sweep {
 	cat := src.Catalog(cfg.MaxRelations)
 	model := relopt.New(cat, relopt.DefaultConfig())
 
-	sweep := Sweep{Workers: workers}
+	sweep := Sweep{Seed: cfg.Seed, Workers: workers}
 	totalQueries := 0
 	for n := cfg.MinRelations; n <= cfg.MaxRelations; n++ {
 		queries := make([]datagen.Query, cfg.QueriesPerLevel)

@@ -60,6 +60,8 @@ func (c ServeConfig) defaults() ServeConfig {
 // (degraded, cached, or coalesced) returned different rows than the
 // unloaded server.
 type ServeResult struct {
+	// Seed is the datagen seed the database was generated from.
+	Seed          int64 `json:"seed"`
 	Tables        int   `json:"tables"`
 	Rows          int64 `json:"rows"`
 	MaxConcurrent int   `json:"max_concurrent"`
@@ -82,7 +84,7 @@ type ServeResult struct {
 // to the unloaded server's.
 func RunServe(cfg ServeConfig) (ServeResult, error) {
 	cfg = cfg.defaults()
-	out := ServeResult{Tables: cfg.Tables, Rows: cfg.Rows}
+	out := ServeResult{Seed: cfg.Seed, Tables: cfg.Tables, Rows: cfg.Rows}
 
 	src := datagen.New(cfg.Seed)
 	cat := src.ScaledCatalog(cfg.Tables, cfg.Rows)

@@ -48,6 +48,8 @@ type SparLevel struct {
 // SparResult is the outcome of RunSpar, serialized into BENCH_fig4.json
 // as the "spar" section.
 type SparResult struct {
+	// Seed is the datagen seed the workload was generated from.
+	Seed int64 `json:"seed"`
 	// GOMAXPROCS records the hardware parallelism available to the
 	// run; speedups are only meaningful relative to it.
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -88,7 +90,7 @@ func RunSpar(cfg Config, workerCounts []int) SparResult {
 		lo = cfg.MaxRelations
 	}
 
-	res := SparResult{GOMAXPROCS: runtime.GOMAXPROCS(0), WorkerCounts: workerCounts}
+	res := SparResult{Seed: cfg.Seed, GOMAXPROCS: runtime.GOMAXPROCS(0), WorkerCounts: workerCounts}
 	for n := lo; n <= cfg.MaxRelations; n++ {
 		queries := make([]datagen.Query, cfg.QueriesPerLevel)
 		for q := range queries {

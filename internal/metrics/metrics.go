@@ -61,6 +61,12 @@ type Search struct {
 	FailureHits    int64 `json:"failure_hits"`
 	GoalsPruned    int64 `json:"goals_pruned"`
 
+	// Episodes / RolloutCommits count stochastic-policy work: completed
+	// rollout episodes and winners that rollouts committed into the
+	// memo. Zero for exhaustive searches and omitted from the JSON.
+	Episodes       int64 `json:"episodes,omitempty"`
+	RolloutCommits int64 `json:"rollout_commits,omitempty"`
+
 	SearchWorkers int64 `json:"search_workers"`
 	TasksRun      int64 `json:"tasks_run"`
 	TasksParked   int64 `json:"tasks_parked"`
@@ -110,6 +116,9 @@ func FromStats(s core.Stats) *Search {
 		WinnerHits:     int64(s.WinnerHits),
 		FailureHits:    int64(s.FailureHits),
 		GoalsPruned:    int64(s.GoalsPruned),
+
+		Episodes:       int64(s.Episodes),
+		RolloutCommits: int64(s.RolloutCommits),
 
 		SearchWorkers: int64(s.SearchWorkers),
 		TasksRun:      int64(s.TasksRun),
@@ -164,6 +173,8 @@ func (a *Search) Merge(b *Search) {
 	a.WinnerHits += b.WinnerHits
 	a.FailureHits += b.FailureHits
 	a.GoalsPruned += b.GoalsPruned
+	a.Episodes += b.Episodes
+	a.RolloutCommits += b.RolloutCommits
 	if b.SearchWorkers > a.SearchWorkers {
 		a.SearchWorkers = b.SearchWorkers
 	}
@@ -234,6 +245,10 @@ func (s *Snapshot) Format() string {
 			v.SearchWorkers, v.TasksRun, v.TasksParked)
 		fmt.Fprintf(&b, "sharing:   %d shared classes, %d shared winner nodes\n",
 			v.SharedGroups, v.SharedWinners)
+		if v.Episodes > 0 {
+			fmt.Fprintf(&b, "policy:    %d episode(s), %d rollout commit(s)\n",
+				v.Episodes, v.RolloutCommits)
+		}
 		if v.SeedCost != "" {
 			fmt.Fprintf(&b, "guidance:  seed cost %s, %d limit stage(s)\n", v.SeedCost, v.LimitStages)
 		}

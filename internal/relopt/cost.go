@@ -54,6 +54,13 @@ func (c Cost) Scale(factor float64) core.Cost {
 
 var _ core.ScalableCost = Cost{}
 
+// Metric projects the record onto the scalar the comparisons already
+// use; the stochastic search policies (core.MetricCost) turn it into
+// UCT rewards and floor priors.
+func (c Cost) Metric() float64 { return c.Total() }
+
+var _ core.MetricCost = Cost{}
+
 // String renders the record.
 func (c Cost) String() string {
 	if math.IsInf(c.IO, 1) {

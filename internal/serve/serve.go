@@ -58,6 +58,15 @@ type Config struct {
 	// tiered at half the /query budget, so under pressure the tier
 	// sheds optimization effort first where no rows depend on it.
 	DegradedBudgets map[string]core.Budget
+	// DegradedPolicy, when not core.PolicyExhaustive, switches
+	// degraded admits onto a budgeted stochastic search policy
+	// (core.PolicyMCTS or core.PolicyWidening) alongside the clamped
+	// budget: instead of an exhaustive search truncated mid-descent,
+	// the degraded tier runs a policy built to spend a small budget
+	// well on large queries. Policy-optimized plans bypass the plan
+	// cache (see vdb.WithSearchPolicy), so the degraded tier never
+	// pollutes full-budget serving. Default PolicyExhaustive (off).
+	DegradedPolicy core.SearchPolicy
 	// DefaultTimeout is the per-request deadline when the client sends
 	// none; MaxTimeout clamps client-requested deadlines. Defaults 2s
 	// and 30s.
@@ -330,6 +339,9 @@ func (s *Server) endpoint(path string, fn handlerFn) {
 		budget := core.Budget{Timeout: d / 2}
 		if degraded {
 			budget = degradedBudget
+			if s.cfg.DegradedPolicy != core.PolicyExhaustive {
+				ctx = vdb.WithSearchPolicy(ctx, s.cfg.DegradedPolicy)
+			}
 		}
 		ctx = vdb.WithBudget(ctx, budget)
 

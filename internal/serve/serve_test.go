@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/metrics"
 	"repro/internal/vdb"
 )
 
@@ -320,7 +321,20 @@ func TestClientDisconnect(t *testing.T) {
 		t.Errorf("goroutines grew from %d to %d after canceled requests", before, n)
 	}
 
-	snap := s.Metrics()
+	// The client's Do returns as soon as its context cancels, but the
+	// server-side handler drains on its own schedule (slow under
+	// -race), and the goroutine comparison above has +2 slack that can
+	// hide one still-finishing handler — so poll inflight down to zero
+	// rather than reading it once.
+	var snap *metrics.Snapshot
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		snap = s.Metrics()
+		if snap.Serve.Inflight == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 	if snap.Serve.Canceled == 0 {
 		t.Logf("note: cancellations completed before the cancel landed (fast machine); canceled=0")
 	}

@@ -189,6 +189,28 @@ func budgetFrom(ctx context.Context) (core.Budget, bool) {
 	return b, ok
 }
 
+// policyKey carries a per-request search-policy override in a context.
+type policyKey struct{}
+
+// WithSearchPolicy returns a context carrying a per-request search
+// policy that overrides Options.Search.Search.Policy for every
+// statement optimized under it. A serving tier combines it with
+// WithBudget to shift admitted-under-pressure requests onto the
+// budgeted stochastic policies (core.PolicyMCTS, core.PolicyWidening)
+// instead of merely truncating the exhaustive search. Statements
+// optimized under a policy override bypass the plan cache entirely:
+// a stochastic policy's plan is best-effort, not proven optimal, and
+// must not be served later to full-budget requests.
+func WithSearchPolicy(ctx context.Context, p core.SearchPolicy) context.Context {
+	return context.WithValue(ctx, policyKey{}, p)
+}
+
+// searchPolicyFrom extracts a WithSearchPolicy override, if any.
+func searchPolicyFrom(ctx context.Context) (core.SearchPolicy, bool) {
+	p, ok := ctx.Value(policyKey{}).(core.SearchPolicy)
+	return p, ok
+}
+
 // optimize runs the search engine over a parsed statement under the
 // database's configured search options and the caller's context. A
 // budget-stopped search with a usable anytime plan is reported as a
@@ -198,6 +220,9 @@ func (db *DB) optimize(ctx context.Context, tree *core.ExprTree, required core.P
 	opts := db.opts.Search
 	if b, ok := budgetFrom(ctx); ok {
 		opts.Budget = b
+	}
+	if p, ok := searchPolicyFrom(ctx); ok {
+		opts.Search.Policy = p
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, core.Stats{}, nil, err
@@ -238,7 +263,11 @@ func (db *DB) serve(ctx context.Context, st *sqlish.Statement, nparams int) (*pl
 		}
 		return &plancache.Entry{Plan: plan, Cost: plan.Cost, Stats: stats, Degraded: degraded}, nil
 	}
-	if db.cache == nil {
+	if _, overridden := searchPolicyFrom(ctx); db.cache == nil || overridden {
+		// A per-request policy override bypasses the cache both ways: a
+		// stochastic plan must not be cached for full-budget callers,
+		// and a cached exhaustive entry would silently ignore the
+		// caller's requested policy.
 		e, err := compute()
 		return e, plancache.OutcomeMiss, err
 	}
